@@ -1,0 +1,223 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (Table I, Figs. 3-7), runs label-arithmetic micro-benchmarks
+   (E7), and two ablations of design choices called out in DESIGN.md (E8).
+
+   Usage:
+     main.exe [SECTION ...] [--trials N] [--duration S] [--flows N]
+              [--full] [--quiet]
+
+   Sections: table1 fig3 fig4 fig5 fig6 fig7 campaign micro ablation all
+   (default: all). The campaign behind table1/fig3..fig7 runs once and is
+   shared. [--full] switches to the paper's raw scale (900 s, 30 flows,
+   10 trials) -- expect hours; the default is a calibrated reduction in the
+   same load regime (see EXPERIMENTS.md). *)
+
+let trials = ref 2
+let duration = ref 120.0
+let flows = ref Sim.Config.reproduction.Sim.Config.flows
+let full = ref false
+let quiet = ref false
+let sections = ref []
+
+let parse_args () =
+  let rec go = function
+    | [] -> ()
+    | "--trials" :: v :: rest -> trials := int_of_string v; go rest
+    | "--duration" :: v :: rest -> duration := float_of_string v; go rest
+    | "--flows" :: v :: rest -> flows := int_of_string v; go rest
+    | "--full" :: rest -> full := true; go rest
+    | "--quiet" :: rest -> quiet := true; go rest
+    | s :: rest -> sections := s :: !sections; go rest
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  if !sections = [] then sections := [ "all" ]
+
+let wants section = List.mem "all" !sections || List.mem section !sections
+
+let wants_campaign () =
+  List.exists wants [ "campaign"; "table1"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7" ]
+
+(* ------------------------------------------------------------------ *)
+(* The simulation campaign shared by Table I and Figs. 3-7 *)
+
+let base_config () =
+  if !full then { Sim.Config.paper with seed = 1 }
+  else
+    { Sim.Config.reproduction with duration = !duration; flows = !flows; seed = 1 }
+
+let run_campaign () =
+  let base = base_config () in
+  let trials = if !full then 10 else !trials in
+  Format.printf
+    "campaign: %d nodes, %d flows, %.0f s runs, %d trials x %d pause times x %d protocols@."
+    base.Sim.Config.nodes base.Sim.Config.flows base.Sim.Config.duration trials
+    (List.length Sim.Config.paper_pause_times)
+    (List.length Sim.Config.all_protocols);
+  if not !full then
+    Format.printf
+      "(pause times scaled by %.3f to keep the paused-time fraction of the        paper's 900 s runs)@."
+      (base.Sim.Config.duration /. 900.0);
+  let progress = if !quiet then fun _ -> () else prerr_endline in
+  let pause_scale =
+    if !full then 1.0 else base.Sim.Config.duration /. 900.0
+  in
+  Sim.Experiment.run ~pause_scale ~base
+    ~protocols:Sim.Config.all_protocols
+    ~pauses:Sim.Config.paper_pause_times ~trials ~progress
+
+(* ------------------------------------------------------------------ *)
+(* Micro-benchmarks of the label machinery (E7, Bechamel) *)
+
+let micro () =
+  let module F = Slr.Fraction in
+  let module O = Slr.Ordering in
+  let open Bechamel in
+  let a = F.make ~num:610 ~den:987 in
+  let b = F.make ~num:987 ~den:1597 in
+  let oa = O.make ~sn:3 ~frac:a in
+  let ob = O.make ~sn:3 ~frac:b in
+  let big_lo = F.make ~num:1_000_003 ~den:2_000_003 in
+  let big_hi = F.make ~num:2_000_005 ~den:3_999_999 in
+  let ba = Slr.Bigfrac.of_ints ~num:610 ~den:987 in
+  let bb = Slr.Bigfrac.of_ints ~num:987 ~den:1597 in
+  let tests =
+    [
+      Test.make ~name:"Fraction.compare"
+        (Staged.stage (fun () -> ignore (F.compare a b)));
+      Test.make ~name:"Fraction.mediant"
+        (Staged.stage (fun () -> ignore (F.mediant a b)));
+      Test.make ~name:"Ordering.precedes"
+        (Staged.stage (fun () -> ignore (O.precedes ob oa)));
+      Test.make ~name:"New_order.compute"
+        (Staged.stage (fun () ->
+             ignore (Slr.New_order.compute ~current:oa ~cached:O.unassigned ~adv:ob)));
+      Test.make ~name:"Farey.simplest_between"
+        (Staged.stage (fun () ->
+             ignore (Slr.Farey.simplest_between ~lo:big_lo ~hi:big_hi)));
+      Test.make ~name:"Bigfrac.mediant"
+        (Staged.stage (fun () -> ignore (Slr.Bigfrac.mediant ba bb)));
+    ]
+  in
+  Format.printf "@.=== micro: label-arithmetic costs (E7) ===@.";
+  List.iter
+    (fun test ->
+      let instances = [ Toolkit.Instance.monotonic_clock ] in
+      let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) () in
+      let raw = Benchmark.all cfg instances test in
+      let results =
+        Analyze.all
+          (Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |])
+          Toolkit.Instance.monotonic_clock raw
+      in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] -> Format.printf "%-30s %10.1f ns/op@." name est
+          | _ -> Format.printf "%-30s (no estimate)@." name)
+        results)
+    tests;
+  Format.printf "worst-case mediant splits in 32 bits: %d (paper: 45)@."
+    (Slr.Fraction.max_splits ())
+
+(* ------------------------------------------------------------------ *)
+(* Ablations (E8) *)
+
+(* E8a: mediant vs Farey (Stern-Brocot) interpolation under random
+   insertions -- the fraction-reduction direction of the paper's §VI. *)
+let ablation_farey () =
+  let module F = Slr.Fraction in
+  Format.printf "@.=== ablation: mediant vs Farey interpolation (E8a) ===@.";
+  let run ~use_farey =
+    let rng = Des.Rng.create 77L in
+    let labels = ref [| F.zero; F.one |] in
+    let max_den = ref 1 in
+    let inserted = ref 0 in
+    (try
+       for _ = 1 to 2000 do
+         let arr = !labels in
+         let i = Des.Rng.int rng (Array.length arr - 1) in
+         let j = i + 1 + Des.Rng.int rng (Array.length arr - i - 1) in
+         let lo = arr.(i) and hi = arr.(j) in
+         if not (F.equal lo hi) then begin
+           let next_label =
+             if use_farey then Slr.Farey.simplest_between ~lo ~hi
+             else F.mediant lo hi
+           in
+           match next_label with
+           | None -> raise Exit
+           | Some m ->
+               incr inserted;
+               if m.F.den > !max_den then max_den := m.F.den;
+               (* keep the array sorted: m belongs somewhere in (i, j] *)
+               let k = ref (i + 1) in
+               while F.(arr.(!k) < m) do
+                 incr k
+               done;
+               let out = Array.make (Array.length arr + 1) m in
+               Array.blit arr 0 out 0 !k;
+               out.(!k) <- m;
+               Array.blit arr !k out (!k + 1) (Array.length arr - !k);
+               labels := out
+         end
+       done
+     with Exit -> ());
+    (!inserted, !max_den)
+  in
+  let m_count, m_den = run ~use_farey:false in
+  let f_count, f_den = run ~use_farey:true in
+  Format.printf "mediant: %4d insertions, max denominator %d@." m_count m_den;
+  Format.printf "Farey:   %4d insertions, max denominator %d@." f_count f_den;
+  Format.printf
+    "(the Farey walk keeps labels far smaller, deferring the sequence-number reset)@."
+
+(* E8b: SRP's tunables under constant mobility. *)
+let ablation_srp_knobs () =
+  Format.printf "@.=== ablation: SRP heuristics at pause 0 (E8b) ===@.";
+  let base = { (base_config ()) with Sim.Config.protocol = Sim.Config.Srp; pause = 0.0 } in
+  let run name srp =
+    let r = Sim.Runner.run { base with Sim.Config.srp } in
+    Format.printf "%-24s delivery %5.3f  load %7.3f  latency %6.3f  seqno %5.2f@."
+      name r.Sim.Metrics.delivery_ratio r.Sim.Metrics.network_load
+      r.Sim.Metrics.latency r.Sim.Metrics.avg_seqno
+  in
+  let d = Protocols.Srp.default_config in
+  run "default (mrh=0)" d;
+  run "min_reply_hops=1" { d with Protocols.Srp.min_reply_hops = 1 };
+  run "min_reply_hops=2" { d with Protocols.Srp.min_reply_hops = 2 };
+  run "probe_on_n=true" { d with Protocols.Srp.probe_on_n = true };
+  run "no ordering lie" { d with Protocols.Srp.lie_k = 1 };
+  (* §VI future work, implemented: minimal-denominator label splits *)
+  let farey = { d with Protocols.Srp.farey_splits = true } in
+  let r_mediant = Sim.Runner.run { base with Sim.Config.srp = d } in
+  let r_farey = Sim.Runner.run { base with Sim.Config.srp = farey } in
+  Format.printf
+    "label growth in-protocol: mediant max denominator %d vs Farey %d@."
+    r_mediant.Sim.Metrics.max_denominator r_farey.Sim.Metrics.max_denominator
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  parse_args ();
+  let t0 = Unix.gettimeofday () in
+  if wants_campaign () then begin
+    let campaign = run_campaign () in
+    let ppf = Format.std_formatter in
+    let section name render =
+      if wants name || wants "campaign" then begin
+        Format.printf "@.";
+        render ppf campaign
+      end
+    in
+    section "table1" Sim.Report.table1;
+    section "fig3" Sim.Report.fig3;
+    section "fig4" Sim.Report.fig4;
+    section "fig5" Sim.Report.fig5;
+    section "fig6" Sim.Report.fig6;
+    section "fig7" Sim.Report.fig7
+  end;
+  if wants "micro" then micro ();
+  if wants "ablation" then begin
+    ablation_farey ();
+    ablation_srp_knobs ()
+  end;
+  Format.printf "@.total wall time: %.1f s@." (Unix.gettimeofday () -. t0)

@@ -1,0 +1,149 @@
+(* manet_sim — run single simulations, campaigns, or the SRP loop-freedom
+   verifier from the command line. *)
+
+open Cmdliner
+
+let protocol_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "srp" -> Ok Sim.Config.Srp
+    | "ldr" -> Ok Sim.Config.Ldr
+    | "aodv" -> Ok Sim.Config.Aodv
+    | "dsr" -> Ok Sim.Config.Dsr
+    | "olsr" -> Ok Sim.Config.Olsr
+    | _ -> Error (`Msg (Printf.sprintf "unknown protocol %S" s))
+  in
+  let print ppf p = Format.pp_print_string ppf (Sim.Config.protocol_name p) in
+  Arg.conv (parse, print)
+
+let config_term =
+  let open Term.Syntax in
+  let+ nodes =
+    Arg.(value & opt int 100 & info [ "nodes" ] ~doc:"Number of nodes.")
+  and+ flows =
+    Arg.(
+      value
+      & opt int Sim.Config.reproduction.Sim.Config.flows
+      & info [ "flows" ] ~doc:"Concurrent CBR flows (paper: 30).")
+  and+ pause =
+    Arg.(
+      value & opt float 0.0
+      & info [ "pause" ] ~doc:"Random-waypoint pause time in seconds.")
+  and+ duration =
+    Arg.(
+      value & opt float 120.0
+      & info [ "duration" ] ~doc:"Simulated seconds (paper: 900).")
+  and+ seed =
+    Arg.(value & opt int 1 & info [ "seed" ] ~doc:"Trial seed.")
+  and+ packet_rate =
+    Arg.(
+      value & opt float 4.0
+      & info [ "rate" ] ~doc:"Packets per second per flow.")
+  in
+  {
+    Sim.Config.reproduction with
+    nodes;
+    flows;
+    pause;
+    duration;
+    seed;
+    packet_rate;
+  }
+
+let run_cmd =
+  let doc = "Run one simulation and print the paper's metrics." in
+  let term =
+    let open Term.Syntax in
+    let+ config = config_term
+    and+ protocol =
+      Arg.(
+        value
+        & opt protocol_conv Sim.Config.Srp
+        & info [ "protocol"; "p" ] ~doc:"Routing protocol.")
+    in
+    let result = Sim.Runner.run { config with protocol } in
+    Format.printf "%a@." Sim.Metrics.pp_result result;
+    List.iter
+      (fun (reason, count) -> Format.printf "  drop[%s] = %d@." reason count)
+      result.Sim.Metrics.drop_reasons
+  in
+  Cmd.v (Cmd.info "run" ~doc) term
+
+let campaign_cmd =
+  let doc =
+    "Run the full campaign (protocols x pause times x trials) and print \
+     Table I and Figures 3-7."
+  in
+  let term =
+    let open Term.Syntax in
+    let+ config = config_term
+    and+ trials =
+      Arg.(value & opt int 3 & info [ "trials" ] ~doc:"Trials per point.")
+    and+ quiet =
+      Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress progress.")
+    in
+    let progress = if quiet then fun _ -> () else prerr_endline in
+    let pause_scale = Stdlib.min 1.0 (config.Sim.Config.duration /. 900.0) in
+    let campaign =
+      Sim.Experiment.run ~pause_scale ~base:config
+        ~protocols:Sim.Config.all_protocols
+        ~pauses:Sim.Config.paper_pause_times ~trials ~progress
+    in
+    Format.printf "%a@." Sim.Report.all campaign
+  in
+  Cmd.v (Cmd.info "campaign" ~doc) term
+
+let check_cmd =
+  let doc =
+    "Run SRP under the loop-freedom verifier (Theorem 3): every successor \
+     edge must descend in label order and every successor graph must stay \
+     acyclic."
+  in
+  let term =
+    let open Term.Syntax in
+    let+ config = config_term
+    and+ interval =
+      Arg.(
+        value & opt float 1.0
+        & info [ "interval" ] ~doc:"Seconds between invariant sweeps.")
+    in
+    match
+      Sim.Loopcheck.run { config with protocol = Sim.Config.Srp } ~interval
+    with
+    | Ok (result, sweeps, edges) ->
+        Format.printf
+          "loop-freedom verified: %d sweeps, %d successor edges checked@.%a@."
+          sweeps edges Sim.Metrics.pp_result result
+    | Error message ->
+        Format.printf "VIOLATION: %s@." message;
+        exit 1
+  in
+  Cmd.v (Cmd.info "check" ~doc) term
+
+let labels_cmd =
+  let doc = "Show SLR label arithmetic: mediants, splits, the 45-split bound." in
+  let show () =
+    let module F = Slr.Fraction in
+    Format.printf "32-bit proper fractions: bound = %d@." F.bound;
+    Format.printf "worst-case mediant splits before overflow: %d@."
+      (F.max_splits ());
+    let a = F.make ~num:1 ~den:2 and b = F.make ~num:2 ~den:3 in
+    (match F.mediant a b with
+    | Some m -> Format.printf "mediant(%a, %a) = %a@." F.pp a F.pp b F.pp m
+    | None -> ());
+    match Slr.Farey.simplest_between ~lo:a ~hi:b with
+    | Some s ->
+        Format.printf "simplest fraction in (%a, %a) = %a (Farey)@." F.pp a
+          F.pp b F.pp s
+    | None -> ()
+  in
+  let term = Term.(const show $ const ()) in
+  Cmd.v (Cmd.info "labels" ~doc) term
+
+let () =
+  let doc =
+    "Reproduction of 'Loop-Free Routing Using a Dense Label Set in Wireless \
+     Networks' (ICDCS 2004)."
+  in
+  let info = Cmd.info "manet_sim" ~doc ~version:"1.0.0" in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; campaign_cmd; check_cmd; labels_cmd ]))

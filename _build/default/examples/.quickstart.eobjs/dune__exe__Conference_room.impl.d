@@ -1,0 +1,1 @@
+examples/conference_room.ml: Format Sim Slr Wireless

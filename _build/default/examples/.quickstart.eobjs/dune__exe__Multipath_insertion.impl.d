@@ -1,0 +1,1 @@
+examples/multipath_insertion.ml: Format List Slr Stdlib String

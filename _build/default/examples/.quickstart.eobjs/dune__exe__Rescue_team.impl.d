@@ -1,0 +1,1 @@
+examples/rescue_team.ml: Format Sim Wireless

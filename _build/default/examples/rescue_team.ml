@@ -1,0 +1,49 @@
+(* Rescue-team scenario (the paper's motivating example: "emergency rescue
+   workers rapidly establishing temporary networks").
+
+   Forty responders sweep a 1 km x 400 m disaster strip at walking-to-running
+   speeds with no pauses, while six command-post flows stream telemetry.
+   We run the identical scripted scenario under SRP and under AODV and
+   compare delivery, overhead, and how hard each protocol leans on its
+   sequence numbers.
+
+   Run with: dune exec examples/rescue_team.exe *)
+
+let scenario protocol =
+  {
+    Sim.Config.reproduction with
+    protocol;
+    nodes = 40;
+    terrain = Wireless.Terrain.make ~width:1000.0 ~height:400.0;
+    pause = 0.0;
+    speed_min = 1.0;
+    speed_max = 6.0;
+    duration = 120.0;
+    flows = 6;
+    seed = 7;
+  }
+
+let () =
+  Format.printf
+    "Rescue team: 40 nodes, 1000x400 m, 1-6 m/s constant motion, 6 flows, \
+     120 s@.@.";
+  let srp = Sim.Runner.run (scenario Sim.Config.Srp) in
+  let aodv = Sim.Runner.run (scenario Sim.Config.Aodv) in
+  let row name (r : Sim.Metrics.result) =
+    Format.printf "%-5s delivery %5.3f   load %6.3f   latency %6.3fs   avg \
+                   seqno %6.2f@."
+      name r.Sim.Metrics.delivery_ratio r.Sim.Metrics.network_load
+      r.Sim.Metrics.latency r.Sim.Metrics.avg_seqno
+  in
+  row "SRP" srp;
+  row "AODV" aodv;
+  Format.printf
+    "@.Same mobility, same traffic. SRP repaired every broken path by \
+     splitting labels locally (sequence numbers untouched: %.2f); AODV had \
+     to re-flood and re-number (average sequence number %.2f).@."
+    srp.Sim.Metrics.avg_seqno aodv.Sim.Metrics.avg_seqno;
+  Format.printf
+    "Control traffic: SRP %d packets vs AODV %d. (At this light load both \
+     are cheap; SRP's overhead advantage appears as load rises toward \
+     saturation — see the fig5 bench.)@."
+    srp.Sim.Metrics.control_tx aodv.Sim.Metrics.control_tx

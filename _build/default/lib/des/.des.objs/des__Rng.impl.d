@@ -1,0 +1,1 @@
+lib/des/rng.ml: Array Char Int64 String

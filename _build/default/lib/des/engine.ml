@@ -1,0 +1,87 @@
+type event = { action : unit -> unit; mutable live : bool; owner : t }
+
+and t = {
+  queue : event Heap.t;
+  mutable clock : float;
+  mutable seq : int;
+  mutable executed : int;
+  mutable live_events : int;
+}
+
+type handle = event
+
+let create () =
+  {
+    queue = Heap.create ();
+    clock = 0.0;
+    seq = 0;
+    executed = 0;
+    live_events = 0;
+  }
+
+let now t = t.clock
+
+let schedule_at t ~time f =
+  if time < t.clock then
+    invalid_arg
+      (Printf.sprintf "Engine.schedule_at: time %g is before now %g" time
+         t.clock);
+  let event = { action = f; live = true; owner = t } in
+  Heap.add t.queue ~key:time ~tie:t.seq event;
+  t.seq <- t.seq + 1;
+  t.live_events <- t.live_events + 1;
+  event
+
+let schedule t ~delay f =
+  if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~time:(t.clock +. delay) f
+
+let cancel event =
+  if event.live then begin
+    event.live <- false;
+    event.owner.live_events <- event.owner.live_events - 1
+  end
+
+let cancelled event = not event.live
+
+let pending t = t.live_events
+
+let executed t = t.executed
+
+(* Drop cancelled entries from the head; returns the next live entry. *)
+let rec skip_dead t =
+  match Heap.peek t.queue with
+  | Some (_, _, event) when not event.live ->
+      ignore (Heap.pop t.queue);
+      skip_dead t
+  | other -> other
+
+(* Precondition: the head of the queue is live. *)
+let step t =
+  let time, _, event = Heap.pop t.queue in
+  event.live <- false;
+  t.live_events <- t.live_events - 1;
+  t.clock <- time;
+  t.executed <- t.executed + 1;
+  event.action ()
+
+let run t ~until =
+  let rec loop () =
+    match skip_dead t with
+    | Some (time, _, _) when time <= until ->
+        step t;
+        loop ()
+    | Some _ | None -> ()
+  in
+  loop ();
+  if t.clock < until then t.clock <- until
+
+let run_all t =
+  let rec loop () =
+    match skip_dead t with
+    | Some _ ->
+        step t;
+        loop ()
+    | None -> ()
+  in
+  loop ()

@@ -1,0 +1,79 @@
+type 'a entry = { key : float; tie : int; value : 'a }
+
+type 'a t = { mutable data : 'a entry array; mutable size : int }
+
+let initial_capacity = 64
+
+let create () = { data = [||]; size = 0 }
+
+let size t = t.size
+
+let is_empty t = t.size = 0
+
+let lt a b = a.key < b.key || (a.key = b.key && a.tie < b.tie)
+
+let swap t i j =
+  let tmp = t.data.(i) in
+  t.data.(i) <- t.data.(j);
+  t.data.(j) <- tmp
+
+let rec sift_up t i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if lt t.data.(i) t.data.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+  end
+
+let rec sift_down t i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < t.size && lt t.data.(l) t.data.(!smallest) then smallest := l;
+  if r < t.size && lt t.data.(r) t.data.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap t i !smallest;
+    sift_down t !smallest
+  end
+
+let grow t =
+  let capacity = Array.length t.data in
+  if t.size >= capacity then begin
+    let new_capacity = max initial_capacity (2 * capacity) in
+    (* the dummy cell is never read: size bounds all accesses *)
+    let dummy = t.data.(0) in
+    let data = Array.make new_capacity dummy in
+    Array.blit t.data 0 data 0 t.size;
+    t.data <- data
+  end
+
+let add t ~key ~tie value =
+  let entry = { key; tie; value } in
+  if Array.length t.data = 0 then t.data <- Array.make initial_capacity entry
+  else grow t;
+  t.data.(t.size) <- entry;
+  t.size <- t.size + 1;
+  sift_up t (t.size - 1)
+
+let peek t =
+  if t.size = 0 then None
+  else
+    let e = t.data.(0) in
+    Some (e.key, e.tie, e.value)
+
+let pop t =
+  if t.size = 0 then invalid_arg "Heap.pop: empty heap";
+  let e = t.data.(0) in
+  t.size <- t.size - 1;
+  if t.size > 0 then begin
+    t.data.(0) <- t.data.(t.size);
+    sift_down t 0
+  end;
+  (e.key, e.tie, e.value)
+
+let to_sorted_list t =
+  let copy = { data = Array.copy t.data; size = t.size } in
+  let rec drain acc =
+    if is_empty copy then List.rev acc else drain (pop copy :: acc)
+  in
+  drain []

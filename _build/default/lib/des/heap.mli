@@ -1,0 +1,26 @@
+(** Array-backed binary min-heap, specialised to [(float, int)] priorities.
+
+    Elements are ordered by [key] first and, for equal keys, by the integer
+    [tie] (insertion sequence in the scheduler), which makes event ordering
+    deterministic. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val size : 'a t -> int
+
+val is_empty : 'a t -> bool
+
+val add : 'a t -> key:float -> tie:int -> 'a -> unit
+
+(** [peek t] is the minimum element, or [None] when empty. *)
+val peek : 'a t -> (float * int * 'a) option
+
+(** [pop t] removes and returns the minimum element.
+    @raise Invalid_argument when empty. *)
+val pop : 'a t -> float * int * 'a
+
+(** [to_sorted_list t] drains a copy of the heap in ascending order (for
+    tests; does not mutate [t]). *)
+val to_sorted_list : 'a t -> (float * int * 'a) list

@@ -1,0 +1,1 @@
+lib/protocols/aodv.ml: Des Discovery Hashtbl List Pending Routing_intf Seen_cache Stdlib Wireless

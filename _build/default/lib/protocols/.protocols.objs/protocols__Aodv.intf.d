@@ -1,0 +1,1 @@
+lib/protocols/aodv.mli: Routing_intf Wireless

@@ -1,0 +1,1 @@
+lib/protocols/discovery.ml: Array Des Hashtbl Stdlib

@@ -1,0 +1,1 @@
+lib/protocols/discovery.mli: Des

@@ -1,0 +1,1 @@
+lib/protocols/dsr.ml: Des Discovery List Pending Routing_intf Seen_cache Wireless

@@ -1,0 +1,1 @@
+lib/protocols/dsr.mli: Routing_intf Wireless

@@ -1,0 +1,1 @@
+lib/protocols/ldr.ml: Des Discovery Hashtbl List Option Pending Routing_intf Seen_cache Stdlib Wireless

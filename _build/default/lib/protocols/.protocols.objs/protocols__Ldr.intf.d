@@ -1,0 +1,1 @@
+lib/protocols/ldr.mli: Routing_intf Wireless

@@ -1,0 +1,1 @@
+lib/protocols/olsr.ml: Des Hashtbl List Option Queue Routing_intf Seen_cache Wireless

@@ -1,0 +1,1 @@
+lib/protocols/olsr.mli: Routing_intf Wireless

@@ -1,0 +1,1 @@
+lib/protocols/pending.ml: Hashtbl List Queue Wireless

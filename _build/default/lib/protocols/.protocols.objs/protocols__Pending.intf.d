@@ -1,0 +1,1 @@
+lib/protocols/pending.mli: Wireless

@@ -1,0 +1,1 @@
+lib/protocols/routing_intf.ml: Des Wireless

@@ -1,0 +1,1 @@
+lib/protocols/seen_cache.ml: Des Hashtbl List

@@ -1,0 +1,1 @@
+lib/protocols/srp.ml: Des Discovery Hashtbl List Pending Routing_intf Seen_cache Slr Stdlib Wireless

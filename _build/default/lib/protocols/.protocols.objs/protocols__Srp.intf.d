@@ -1,0 +1,1 @@
+lib/protocols/srp.mli: Routing_intf Slr Wireless

@@ -1,0 +1,66 @@
+(** AODV baseline (Perkins, Belding-Royer, Das — draft-ietf-manet-aodv-10),
+    simplified to the features the paper's comparison exercises: per-node
+    sequence numbers incremented on every RREQ origination and on
+    destination replies, destination-sequence-number route freshness,
+    expanding-ring search, reverse/forward route construction, precursor
+    lists with RERR propagation, link-layer loss detection, and local
+    repair (a fresh discovery from the point of failure requesting
+    [last known seqno + 1]).
+
+    AODV's sequence number is its only loop-freedom mechanism, which is why
+    Fig. 7 shows it growing far faster than LDR's or SRP's. *)
+
+type config = {
+  ttls : int list;
+  node_traversal : float;
+  route_lifetime : float;
+  pending_capacity : int;
+  relay_jitter : float;
+  data_ttl : int;
+  rreq_size : int;
+  rrep_size : int;
+  rerr_size : int;
+  ip_overhead : int;
+}
+
+val default_config : config
+
+type rreq = {
+  rq_src : int;
+  rq_src_seqno : int;
+  rq_id : int;
+  rq_dst : int;
+  rq_dst_seqno : int option;  (** [None] = unknown (U bit) *)
+  rq_hops : int;
+  rq_ttl : int;
+}
+
+type rrep = {
+  rp_src : int;
+  rp_dst : int;
+  rp_dst_seqno : int;
+  rp_hops : int;
+  rp_lifetime : float;
+}
+
+type rerr = { re_unreachable : (int * int) list  (** (dst, seqno) *) }
+
+type Wireless.Frame.payload +=
+  | Rreq of rreq
+  | Rrep of rrep
+  | Rerr of rerr
+
+val create : ?config:config -> Routing_intf.ctx -> Routing_intf.agent
+
+(** {2 White-box inspection for tests} *)
+
+type t
+
+val create_full :
+  ?config:config -> Routing_intf.ctx -> t * Routing_intf.agent
+
+val own_seqno : t -> int
+
+val next_hop : t -> dst:int -> int option
+
+val route_seqno : t -> dst:int -> int option

@@ -1,0 +1,28 @@
+(** Expanding-ring route-discovery driver shared by the on-demand agents
+    (SRP, AODV, LDR): tracks the active/passive state per destination,
+    schedules retry timeouts of [2 * ttl * node_traversal_time] (Procedure 1
+    of the paper, mirroring AODV), walks the TTL schedule, and reports
+    failure after the last attempt. *)
+
+type t
+
+val create :
+  Des.Engine.t ->
+  ttls:int list ->
+  node_traversal:float ->
+  send:(dst:int -> ttl:int -> attempt:int -> unit) ->
+  give_up:(dst:int -> unit) ->
+  t
+
+(** [start t ~dst] begins discovery unless one is already active for
+    [dst]. Issues the first request synchronously. *)
+val start : t -> dst:int -> unit
+
+(** Is a discovery currently active for [dst]? *)
+val active : t -> dst:int -> bool
+
+(** [succeed t ~dst] stops the discovery (a route was found). *)
+val succeed : t -> dst:int -> unit
+
+(** Number of requests issued so far (diagnostic). *)
+val requests_sent : t -> int

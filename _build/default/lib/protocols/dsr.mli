@@ -1,0 +1,73 @@
+(** DSR baseline (Johnson, Maltz, Hu, Jetcheva — draft-ietf-manet-dsr-07),
+    simplified: network-wide route-request floods accumulating the traversed
+    path, replies carrying complete source routes, a per-node path cache
+    with intermediate-node cached replies, source-routed data forwarding
+    (the route rides in every data packet and inflates its airtime), packet
+    salvaging after link-layer loss, and source-routed route errors.
+
+    Under the paper's high-load, high-mobility scenarios DSR's stale cached
+    routes and salvage traffic produce the collapse seen in Figs. 3–4. *)
+
+type config = {
+  discovery_ttl : int;
+  discovery_attempts : int;
+  node_traversal : float;
+  cache_capacity : int;  (** max cached paths per node *)
+  cache_lifetime : float;
+  max_salvages : int;
+  pending_capacity : int;
+  relay_jitter : float;
+  data_ttl : int;
+  base_control_size : int;  (** control packet size before per-hop bytes *)
+  per_hop_bytes : int;  (** route-record bytes per listed hop *)
+  ip_overhead : int;
+}
+
+val default_config : config
+
+type rreq = {
+  rq_src : int;
+  rq_id : int;
+  rq_dst : int;
+  rq_record : int list;  (** traversed path, source first *)
+  rq_ttl : int;
+}
+
+type rrep = {
+  rp_path : int list;  (** complete route, source first, destination last *)
+  rp_back : int list;  (** remaining reverse hops; head is the next hop *)
+}
+
+(** Source-routed data: [route] is the full path (source first), [idx] the
+    position of the node currently holding the packet. *)
+type dsr_data = {
+  dd_data : Wireless.Frame.data;
+  dd_route : int list;
+  dd_idx : int;
+  dd_salvaged : int;
+}
+
+type rerr = {
+  re_broken : int * int;  (** the dead link (from, to) *)
+  re_back : int list;  (** remaining reverse hops toward the source *)
+}
+
+type Wireless.Frame.payload +=
+  | Rreq of rreq
+  | Rrep of rrep
+  | Dsr_data of dsr_data
+  | Rerr of rerr
+
+val create : ?config:config -> Routing_intf.ctx -> Routing_intf.agent
+
+(** {2 White-box inspection for tests} *)
+
+type t
+
+val create_full :
+  ?config:config -> Routing_intf.ctx -> t * Routing_intf.agent
+
+(** Best (shortest live) cached path from this node to [dst], if any. *)
+val cached_path : t -> dst:int -> int list option
+
+val cache_size : t -> int

@@ -1,0 +1,39 @@
+type t = {
+  capacity : int;
+  drop : Wireless.Frame.data -> size:int -> reason:string -> unit;
+  queues : (int, (Wireless.Frame.data * int) Queue.t) Hashtbl.t;
+}
+
+let create ~capacity ~drop = { capacity; drop; queues = Hashtbl.create 16 }
+
+let queue_for t dst =
+  match Hashtbl.find_opt t.queues dst with
+  | Some q -> q
+  | None ->
+      let q = Queue.create () in
+      Hashtbl.replace t.queues dst q;
+      q
+
+let push t ~dst data ~size =
+  let q = queue_for t dst in
+  if Queue.length q >= t.capacity then begin
+    let old_data, old_size = Queue.pop q in
+    t.drop old_data ~size:old_size ~reason:"pending-buffer overflow"
+  end;
+  Queue.add (data, size) q
+
+let take_all t ~dst =
+  match Hashtbl.find_opt t.queues dst with
+  | None -> []
+  | Some q ->
+      let items = List.of_seq (Queue.to_seq q) in
+      Queue.clear q;
+      items
+
+let drop_all t ~dst ~reason =
+  List.iter (fun (data, size) -> t.drop data ~size ~reason) (take_all t ~dst)
+
+let count t ~dst =
+  match Hashtbl.find_opt t.queues dst with
+  | None -> 0
+  | Some q -> Queue.length q

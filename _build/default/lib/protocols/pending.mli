@@ -1,0 +1,23 @@
+(** Per-destination buffer for data packets awaiting route discovery, with a
+    bounded capacity and a drop callback, shared by all on-demand agents. *)
+
+type t
+
+val create :
+  capacity:int ->
+  drop:(Wireless.Frame.data -> size:int -> reason:string -> unit) ->
+  t
+
+(** [push t ~dst data ~size] buffers a packet; the oldest buffered packet
+    for [dst] is dropped (via the callback) when the buffer is full. *)
+val push : t -> dst:int -> Wireless.Frame.data -> size:int -> unit
+
+(** [take_all t ~dst] removes and returns buffered packets in arrival
+    order. *)
+val take_all : t -> dst:int -> (Wireless.Frame.data * int) list
+
+(** [drop_all t ~dst ~reason] flushes the buffer through the drop callback
+    (route discovery failed). *)
+val drop_all : t -> dst:int -> reason:string -> unit
+
+val count : t -> dst:int -> int

@@ -1,0 +1,42 @@
+(** The contract between a routing agent and the node that hosts it.
+
+    A node gives its agent a {!ctx} of capabilities (clock, timers, MAC
+    access, delivery sinks); the agent returns an {!agent} record of
+    handlers. Record-of-closures keeps the wireless substrate free of any
+    dependency on protocol code. *)
+
+type ctx = {
+  id : int;
+  node_count : int;
+  engine : Des.Engine.t;
+  rng : Des.Rng.t;
+  mac_send : Wireless.Frame.t -> unit;
+  deliver : Wireless.Frame.data -> unit;
+      (** call when a data packet reaches its final destination *)
+  drop_data : Wireless.Frame.data -> reason:string -> unit;
+      (** call when the routing layer gives up on a data packet *)
+}
+
+(** Protocol-specific gauges sampled at the end of a run. [own_seqno] feeds
+    Fig. 7 (zero-based: subtract the protocol's initial value, as the paper
+    does for SRP). [max_denominator] and [seqno_resets] apply to SRP only
+    and are 0 elsewhere. *)
+type gauges = {
+  own_seqno : int;
+  max_denominator : int;
+  seqno_resets : int;
+}
+
+type agent = {
+  originate : Wireless.Frame.data -> size:int -> unit;
+      (** the application hands over a data packet for [data.final_dst] *)
+  receive : src:int -> Wireless.Frame.t -> unit;
+      (** the MAC delivered a frame ([src] is the previous hop) *)
+  unicast_failed : frame:Wireless.Frame.t -> dst:int -> unit;
+      (** MAC retry limit exhausted toward next hop [dst] *)
+  unicast_ok : frame:Wireless.Frame.t -> dst:int -> unit;
+      (** a unicast frame was acknowledged (route-liveness hint) *)
+  gauges : unit -> gauges;
+}
+
+let no_gauges = { own_seqno = 0; max_denominator = 0; seqno_resets = 0 }

@@ -1,0 +1,43 @@
+type t = {
+  engine : Des.Engine.t;
+  ttl : float;
+  entries : (int * int, float) Hashtbl.t;
+  mutable last_sweep : float;
+}
+
+let create engine ~ttl =
+  { engine; ttl; entries = Hashtbl.create 64; last_sweep = 0.0 }
+
+(* Amortised cleanup: sweep at most once per ttl. *)
+let sweep t =
+  let now = Des.Engine.now t.engine in
+  if now -. t.last_sweep >= t.ttl then begin
+    t.last_sweep <- now;
+    let dead =
+      Hashtbl.fold
+        (fun key expiry acc -> if expiry <= now then key :: acc else acc)
+        t.entries []
+    in
+    List.iter (Hashtbl.remove t.entries) dead
+  end
+
+let mem t ~origin ~id =
+  match Hashtbl.find_opt t.entries (origin, id) with
+  | Some expiry -> expiry > Des.Engine.now t.engine
+  | None -> false
+
+let witness t ~origin ~id =
+  sweep t;
+  if mem t ~origin ~id then false
+  else begin
+    Hashtbl.replace t.entries (origin, id)
+      (Des.Engine.now t.engine +. t.ttl);
+    true
+  end
+
+let size t =
+  sweep t;
+  let now = Des.Engine.now t.engine in
+  Hashtbl.fold
+    (fun _ expiry acc -> if expiry > now then acc + 1 else acc)
+    t.entries 0

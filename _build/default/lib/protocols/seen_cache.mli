@@ -1,0 +1,17 @@
+(** Duplicate-suppression cache for flooded packets keyed by
+    [(originator, id)], with entry expiry. Every on-demand protocol uses one
+    to process each route request exactly once. *)
+
+type t
+
+(** [create engine ~ttl] — entries expire [ttl] seconds after insertion. *)
+val create : Des.Engine.t -> ttl:float -> t
+
+(** [witness t ~origin ~id] returns [true] the first time a live pair is
+    seen (and records it), [false] for a duplicate. *)
+val witness : t -> origin:int -> id:int -> bool
+
+val mem : t -> origin:int -> id:int -> bool
+
+(** Number of live entries (compacts internally). *)
+val size : t -> int

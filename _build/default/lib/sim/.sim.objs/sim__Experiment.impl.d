@@ -1,0 +1,1 @@
+lib/sim/experiment.ml: Config Format Hashtbl List Metrics Runner Stats Unix

@@ -1,0 +1,1 @@
+lib/sim/loopcheck.ml: Array Config Des Format List Option Protocols Runner Slr

@@ -1,0 +1,1 @@
+lib/sim/loopcheck.mli: Config Metrics

@@ -1,0 +1,1 @@
+lib/sim/metrics.ml: Format Hashtbl List Option Protocols Stats Stdlib Wireless

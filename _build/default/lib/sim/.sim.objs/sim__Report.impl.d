@@ -1,0 +1,1 @@
+lib/sim/report.ml: Config Experiment Format List Slr Stats Stdlib

@@ -1,0 +1,1 @@
+lib/sim/runner.ml: Array Config Des Int64 Metrics Printf Protocols Traffic Wireless

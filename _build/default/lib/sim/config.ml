@@ -1,0 +1,76 @@
+type protocol = Srp | Ldr | Aodv | Dsr | Olsr
+
+let all_protocols = [ Srp; Ldr; Aodv; Dsr; Olsr ]
+
+let protocol_name = function
+  | Srp -> "SRP"
+  | Ldr -> "LDR"
+  | Aodv -> "AODV"
+  | Dsr -> "DSR"
+  | Olsr -> "OLSR"
+
+let fig7_protocols = [ Srp; Ldr; Aodv ]
+
+type t = {
+  protocol : protocol;
+  nodes : int;
+  terrain : Wireless.Terrain.t;
+  radio : Wireless.Radio.t;
+  pause : float;
+  speed_min : float;
+  speed_max : float;
+  duration : float;
+  traffic_start : float;
+  flows : int;
+  flow_mean_duration : float;
+  packet_rate : float;
+  packet_size : int;
+  seed : int;
+  srp : Protocols.Srp.config;
+  aodv : Protocols.Aodv.config;
+  ldr : Protocols.Ldr.config;
+  dsr : Protocols.Dsr.config;
+  olsr : Protocols.Olsr.config;
+}
+
+let paper =
+  {
+    protocol = Srp;
+    nodes = 100;
+    terrain = Wireless.Terrain.paper;
+    radio = Wireless.Radio.default;
+    pause = 0.0;
+    speed_min = 0.5;
+    speed_max = 20.0;
+    duration = 900.0;
+    traffic_start = 15.0;
+    flows = 30;
+    flow_mean_duration = 60.0;
+    packet_rate = 4.0;
+    packet_size = 512;
+    seed = 1;
+    srp = Protocols.Srp.default_config;
+    aodv = Protocols.Aodv.default_config;
+    ldr = Protocols.Ldr.default_config;
+    dsr = Protocols.Dsr.default_config;
+    olsr = Protocols.Olsr.default_config;
+  }
+
+let reproduction = { paper with flows = 12 }
+
+let small =
+  {
+    paper with
+    nodes = 50;
+    terrain = Wireless.Terrain.make ~width:1500.0 ~height:400.0;
+    duration = 120.0;
+    flows = 15;
+  }
+
+let paper_pause_times = [ 0.0; 50.0; 100.0; 200.0; 300.0; 500.0; 700.0; 900.0 ]
+
+let with_protocol t protocol = { t with protocol }
+
+let with_pause t pause = { t with pause }
+
+let with_seed t seed = { t with seed }

@@ -1,0 +1,58 @@
+(** Simulation-campaign configuration. {!paper} mirrors the paper's setup:
+    100 nodes on 2200 m × 600 m, 2 Mbps 802.11, random waypoint at 0–20 m/s,
+    30 concurrent 512-byte 4-packets/s CBR flows, 900 s runs. *)
+
+type protocol = Srp | Ldr | Aodv | Dsr | Olsr
+
+val all_protocols : protocol list
+
+val protocol_name : protocol -> string
+
+(** Protocols that expose a sequence number (Fig. 7). *)
+val fig7_protocols : protocol list
+
+type t = {
+  protocol : protocol;
+  nodes : int;
+  terrain : Wireless.Terrain.t;
+  radio : Wireless.Radio.t;
+  pause : float;  (** random-waypoint pause time, s *)
+  speed_min : float;
+  speed_max : float;
+  duration : float;  (** simulated seconds *)
+  traffic_start : float;  (** flows begin after this warm-up *)
+  flows : int;  (** concurrent CBR flows *)
+  flow_mean_duration : float;
+  packet_rate : float;  (** packets per second per flow *)
+  packet_size : int;  (** bytes *)
+  seed : int;  (** trial seed: shared across protocols *)
+  srp : Protocols.Srp.config;  (** protocol tuning (ablation benches) *)
+  aodv : Protocols.Aodv.config;
+  ldr : Protocols.Ldr.config;
+  dsr : Protocols.Dsr.config;
+  olsr : Protocols.Olsr.config;
+}
+
+(** The paper's full-scale scenario (pause and protocol to be set). *)
+val paper : t
+
+(** The default reproduction campaign: the paper's scenario with the
+    offered load scaled to this substrate's measured stable capacity
+    (12 concurrent flows instead of 30), so the network operates in the
+    same near-saturation regime as the paper's GloMoSim runs. See
+    EXPERIMENTS.md for the calibration. *)
+val reproduction : t
+
+(** A scaled-down scenario for tests and quick benches: fewer nodes on a
+    proportionally smaller terrain, shorter runs. The load per node and the
+    connectivity structure stay comparable. *)
+val small : t
+
+(** The paper's eight pause times (0 = constant mobility, 900 = static). *)
+val paper_pause_times : float list
+
+val with_protocol : t -> protocol -> t
+
+val with_pause : t -> float -> t
+
+val with_seed : t -> int -> t

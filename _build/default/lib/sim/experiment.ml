@@ -1,0 +1,86 @@
+type cell = {
+  delivery : Stats.Summary.t;
+  load : Stats.Summary.t;
+  latency : Stats.Summary.t;
+  mac_drops : Stats.Summary.t;
+  seqno : Stats.Summary.t;
+  mutable max_denominator : int;
+}
+
+type t = {
+  base : Config.t;
+  protocols : Config.protocol list;
+  pauses : float list;
+  trials : int;
+  cells : (Config.protocol * float, cell) Hashtbl.t;
+}
+
+let fresh_cell () =
+  {
+    delivery = Stats.Summary.create ();
+    load = Stats.Summary.create ();
+    latency = Stats.Summary.create ();
+    mac_drops = Stats.Summary.create ();
+    seqno = Stats.Summary.create ();
+    max_denominator = 0;
+  }
+
+let cell t protocol pause =
+  match Hashtbl.find_opt t.cells (protocol, pause) with
+  | Some c -> c
+  | None ->
+      let c = fresh_cell () in
+      Hashtbl.replace t.cells (protocol, pause) c;
+      c
+
+let record c (r : Metrics.result) =
+  Stats.Summary.add c.delivery r.Metrics.delivery_ratio;
+  Stats.Summary.add c.load r.Metrics.network_load;
+  Stats.Summary.add c.latency r.Metrics.latency;
+  Stats.Summary.add c.mac_drops r.Metrics.mac_drops_per_node;
+  Stats.Summary.add c.seqno r.Metrics.avg_seqno;
+  if r.Metrics.max_denominator > c.max_denominator then
+    c.max_denominator <- r.Metrics.max_denominator
+
+let run ~pause_scale ~base ~protocols ~pauses ~trials ~progress =
+  let t = { base; protocols; pauses; trials; cells = Hashtbl.create 64 } in
+  List.iter
+    (fun pause ->
+      for trial = 0 to trials - 1 do
+        List.iter
+          (fun protocol ->
+            let config =
+              {
+                base with
+                Config.protocol;
+                pause = pause *. pause_scale;
+                seed = base.Config.seed + trial;
+              }
+            in
+            let started = Unix.gettimeofday () in
+            let result = Runner.run config in
+            record (cell t protocol pause) result;
+            progress
+              (Format.asprintf "%-5s pause=%4.0f trial=%d  %a  (%.1fs)"
+                 (Config.protocol_name protocol)
+                 pause trial Metrics.pp_result result
+                 (Unix.gettimeofday () -. started)))
+          protocols
+      done)
+    pauses;
+  t
+
+let overall t protocol =
+  let delivery = Stats.Summary.create () in
+  let load = Stats.Summary.create () in
+  let latency = Stats.Summary.create () in
+  List.iter
+    (fun pause ->
+      match Hashtbl.find_opt t.cells (protocol, pause) with
+      | None -> ()
+      | Some c ->
+          Stats.Summary.merge delivery c.delivery;
+          Stats.Summary.merge load c.load;
+          Stats.Summary.merge latency c.latency)
+    t.pauses;
+  (delivery, load, latency)

@@ -1,0 +1,50 @@
+(** The paper's simulation campaign: protocols × pause times × trials, with
+    mobility and traffic scripts fixed per trial (identical across
+    protocols), aggregated with 95% confidence intervals. *)
+
+(** Aggregated measurements for one (protocol, pause) cell. *)
+type cell = {
+  delivery : Stats.Summary.t;
+  load : Stats.Summary.t;
+  latency : Stats.Summary.t;
+  mac_drops : Stats.Summary.t;  (** per-node MAC drops (Fig. 3) *)
+  seqno : Stats.Summary.t;  (** average node sequence number (Fig. 7) *)
+  mutable max_denominator : int;  (** SRP's largest fraction denominator *)
+}
+
+type t = {
+  base : Config.t;
+  protocols : Config.protocol list;
+  pauses : float list;
+  trials : int;
+  cells : (Config.protocol * float, cell) Hashtbl.t;
+}
+
+(** [run ~base ~protocols ~pauses ~trials ~progress] executes the campaign.
+    Trial [k] uses seed [base.seed + k] for every protocol.
+    [progress] is called after each completed run with a human-readable
+    line (pass [ignore] to silence).
+
+    [pause_scale] multiplies each pause time before simulating (pass 1.0
+    for the paper's scale),
+    while results stay keyed by the nominal pause. Reduced campaigns use
+    [duration /. 900] so that "pause 300 in a 900 s run" and "pause 40 in a
+    120 s run" describe the same fraction of time spent paused — otherwise
+    every pause longer than the run collapses to "static". *)
+val run :
+  pause_scale:float ->
+  base:Config.t ->
+  protocols:Config.protocol list ->
+  pauses:float list ->
+  trials:int ->
+  progress:(string -> unit) ->
+  t
+
+val cell : t -> Config.protocol -> float -> cell
+
+(** Per-protocol aggregation over all pause times (Table I): delivery,
+    load, latency summaries pooled across pause cells. *)
+val overall :
+  t ->
+  Config.protocol ->
+  Stats.Summary.t * Stats.Summary.t * Stats.Summary.t

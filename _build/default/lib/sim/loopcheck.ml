@@ -1,0 +1,67 @@
+module Ordering = Slr.Ordering
+
+exception Violation of string
+
+let run (config : Config.t) ~interval =
+  if config.protocol <> Config.Srp then
+    invalid_arg "Loopcheck.run: only SRP exposes label state";
+  let nodes = config.nodes in
+  let srps : Protocols.Srp.t option array = Array.make nodes None in
+  let sweeps = ref 0 in
+  let edges = ref 0 in
+  (* one whole-network invariant sweep: every destination's successor
+     graph must descend in label order and be acyclic *)
+  let sweep () =
+    incr sweeps;
+    let srp i = Option.get srps.(i) in
+    for dst = 0 to nodes - 1 do
+      let successor_ids = Array.make nodes [] in
+      for a = 0 to nodes - 1 do
+        if a <> dst then begin
+          let own = Protocols.Srp.ordering (srp a) ~dst in
+          let succs = Protocols.Srp.successor_orderings (srp a) ~dst in
+          successor_ids.(a) <- List.map fst succs;
+          List.iter
+            (fun (b, _) ->
+              incr edges;
+              let b_now = Protocols.Srp.ordering (srp b) ~dst in
+              if not (Ordering.precedes own b_now) then
+                raise
+                  (Violation
+                     (Format.asprintf
+                        "dst %d: edge %d->%d out of order: %a not ⊑ %a" dst a
+                        b Ordering.pp own Ordering.pp b_now)))
+            succs
+        end
+      done;
+      match Slr.Dag.acyclic ~successors:(fun i -> successor_ids.(i)) nodes with
+      | Ok () -> ()
+      | Error cycle ->
+          raise
+            (Violation
+               (Format.asprintf "dst %d: successor cycle %a" dst
+                  (Format.pp_print_list
+                     ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "->")
+                     Format.pp_print_int)
+                  cycle))
+    done
+  in
+  try
+    let result =
+      Runner.run_custom config
+        ~build:(fun i ctx ->
+          let t, agent = Protocols.Srp.create_full ~config:config.srp ctx in
+          srps.(i) <- Some t;
+          agent)
+        ~on_start:(fun engine ->
+          let rec tick time =
+            if time < config.duration then
+              ignore
+                (Des.Engine.schedule_at engine ~time (fun () ->
+                     sweep ();
+                     tick (time +. interval)))
+          in
+          tick interval)
+    in
+    Ok (result, !sweeps, !edges)
+  with Violation message -> Error message

@@ -1,0 +1,13 @@
+(** Runtime verification of SRP's loop-freedom (Theorem 3).
+
+    [run config ~interval] executes a simulation with white-box SRP agents
+    and, every [interval] simulated seconds, asserts for every destination
+    that (a) every live successor edge descends in the Ordering Criteria
+    sense — [O_A ⊑ O_B] for each successor B of A — and (b) the global
+    successor graph is acyclic.
+
+    Returns [Ok (metrics, sweeps, edges)] — the run's metrics, the number
+    of whole-network invariant sweeps, and the total successor edges
+    inspected — or [Error description] on the first violation. *)
+val run :
+  Config.t -> interval:float -> (Metrics.result * int * int, string) result

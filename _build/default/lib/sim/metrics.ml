@@ -1,0 +1,100 @@
+type t = {
+  mutable sent : int;
+  mutable delivered : int;
+  lat : Stats.Summary.t;
+  drop_reasons : (string, int) Hashtbl.t;
+  (* guard against double delivery of the same packet *)
+  seen : (int, unit) Hashtbl.t;
+}
+
+let create () =
+  {
+    sent = 0;
+    delivered = 0;
+    lat = Stats.Summary.create ();
+    drop_reasons = Hashtbl.create 8;
+    seen = Hashtbl.create 1024;
+  }
+
+let on_sent t _data = t.sent <- t.sent + 1
+
+let on_delivered t ~now data =
+  if not (Hashtbl.mem t.seen data.Wireless.Frame.seq) then begin
+    Hashtbl.replace t.seen data.Wireless.Frame.seq ();
+    t.delivered <- t.delivered + 1;
+    Stats.Summary.add t.lat (now -. data.Wireless.Frame.sent_at)
+  end
+
+let on_dropped t _data ~reason =
+  let count = Option.value ~default:0 (Hashtbl.find_opt t.drop_reasons reason) in
+  Hashtbl.replace t.drop_reasons reason (count + 1)
+
+type result = {
+  sent : int;
+  delivered : int;
+  delivery_ratio : float;
+  control_tx : int;
+  network_load : float;
+  latency : float;
+  mac_drops_per_node : float;
+  collisions : int;
+  data_tx : int;
+  drop_queue_full : int;
+  drop_retry : int;
+  avg_seqno : float;
+  max_seqno : int;
+  seqno_resets : int;
+  max_denominator : int;
+  drop_reasons : (string * int) list;
+}
+
+let finalize (t : t) ~control_tx ~data_tx ~drop_queue_full ~drop_retry
+    ~mac_drops ~collisions ~nodes ~gauges =
+  let seqnos =
+    List.map (fun g -> g.Protocols.Routing_intf.own_seqno) gauges
+  in
+  let avg_seqno =
+    match seqnos with
+    | [] -> 0.0
+    | _ ->
+        float_of_int (List.fold_left ( + ) 0 seqnos)
+        /. float_of_int (List.length seqnos)
+  in
+  {
+    sent = t.sent;
+    delivered = t.delivered;
+    delivery_ratio =
+      (if t.sent = 0 then 0.0
+       else float_of_int t.delivered /. float_of_int t.sent);
+    control_tx;
+    network_load =
+      (if t.delivered = 0 then float_of_int control_tx
+       else float_of_int control_tx /. float_of_int t.delivered);
+    latency = Stats.Summary.mean t.lat;
+    mac_drops_per_node = float_of_int mac_drops /. float_of_int nodes;
+    collisions;
+    data_tx;
+    drop_queue_full;
+    drop_retry;
+    avg_seqno;
+    max_seqno = List.fold_left Stdlib.max 0 seqnos;
+    seqno_resets =
+      List.fold_left
+        (fun acc g -> acc + g.Protocols.Routing_intf.seqno_resets)
+        0 gauges;
+    max_denominator =
+      List.fold_left
+        (fun acc g -> Stdlib.max acc g.Protocols.Routing_intf.max_denominator)
+        0 gauges;
+    drop_reasons =
+      List.sort
+        (fun (_, a) (_, b) -> compare b a)
+        (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.drop_reasons []);
+  }
+
+let pp_result ppf r =
+  Format.fprintf ppf
+    "sent %d, delivered %d (%.3f), control %d (load %.3f), latency %.3fs, \
+     mac-drops/node %.1f, collisions %d, avg-seqno %.2f"
+    r.sent r.delivered r.delivery_ratio r.control_tx r.network_load r.latency
+    r.mac_drops_per_node r.collisions r.avg_seqno

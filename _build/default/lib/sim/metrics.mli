@@ -1,0 +1,54 @@
+(** Per-run measurements — exactly the paper's §V metrics.
+
+    - delivery ratio: CBR packets received / CBR packets sent;
+    - network load: control packets transmitted / CBR packets received;
+    - latency: mean end-to-end data-packet lifetime;
+    - MAC drops: sender-side MAC drops (queue overflow + retry exhaustion)
+      averaged per node (Fig. 3);
+    - average node sequence number and SRP's maximum denominator (Fig. 7). *)
+
+type t
+
+val create : unit -> t
+
+val on_sent : t -> Wireless.Frame.data -> unit
+
+val on_delivered : t -> now:float -> Wireless.Frame.data -> unit
+
+val on_dropped : t -> Wireless.Frame.data -> reason:string -> unit
+
+(** Final per-run result. *)
+type result = {
+  sent : int;
+  delivered : int;
+  delivery_ratio : float;
+  control_tx : int;  (** control-packet transmissions, all nodes *)
+  network_load : float;
+  latency : float;  (** mean seconds; 0 when nothing was delivered *)
+  mac_drops_per_node : float;
+  collisions : int;
+  data_tx : int;  (** MAC data transmissions incl. retries/forwards *)
+  drop_queue_full : int;
+  drop_retry : int;
+  avg_seqno : float;
+  max_seqno : int;
+  seqno_resets : int;
+  max_denominator : int;
+  drop_reasons : (string * int) list;  (** routing-layer drops by reason *)
+}
+
+(** [finalize t ~control_tx ~mac_drops ~collisions ~nodes ~gauges] closes
+    the books; [gauges] are the per-node protocol gauges. *)
+val finalize :
+  t ->
+  control_tx:int ->
+  data_tx:int ->
+  drop_queue_full:int ->
+  drop_retry:int ->
+  mac_drops:int ->
+  collisions:int ->
+  nodes:int ->
+  gauges:Protocols.Routing_intf.gauges list ->
+  result
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,92 @@
+let pp_summary ppf s =
+  Format.fprintf ppf "%7.3f ±%6.3f" (Stats.Summary.mean s)
+    (Stats.Summary.ci95 s)
+
+let table1 ppf t =
+  Format.fprintf ppf
+    "Table I: performance averaged over all pause times (mean ± 95%% CI)@.";
+  Format.fprintf ppf "%-9s %-17s %-17s %-17s@." "protocol" "deliv. ratio"
+    "net load" "latency (s)";
+  List.iter
+    (fun protocol ->
+      let delivery, load, latency = Experiment.overall t protocol in
+      Format.fprintf ppf "%-9s %a   %a   %a@."
+        (Config.protocol_name protocol)
+        pp_summary delivery pp_summary load pp_summary latency)
+    t.Experiment.protocols
+
+let figure ppf t ~title ~protocols ~value =
+  Format.fprintf ppf "%s@." title;
+  Format.fprintf ppf "%-7s" "pause";
+  List.iter
+    (fun p -> Format.fprintf ppf " %12s" (Config.protocol_name p))
+    protocols;
+  Format.fprintf ppf "@.";
+  List.iter
+    (fun pause ->
+      Format.fprintf ppf "%-7.0f" pause;
+      List.iter
+        (fun p ->
+          let c = Experiment.cell t p pause in
+          Format.fprintf ppf " %12.3f" (value c))
+        protocols;
+      Format.fprintf ppf "@.")
+    t.Experiment.pauses
+
+let fig3 ppf t =
+  figure ppf t ~title:"Fig. 3: average MAC layer drops per node vs pause time"
+    ~protocols:t.Experiment.protocols
+    ~value:(fun c -> Stats.Summary.mean c.Experiment.mac_drops)
+
+let fig4 ppf t =
+  figure ppf t ~title:"Fig. 4: delivery ratio vs pause time"
+    ~protocols:t.Experiment.protocols
+    ~value:(fun c -> Stats.Summary.mean c.Experiment.delivery)
+
+let fig5 ppf t =
+  figure ppf t
+    ~title:"Fig. 5: network load vs pause time (plot on a log axis)"
+    ~protocols:t.Experiment.protocols
+    ~value:(fun c -> Stats.Summary.mean c.Experiment.load)
+
+let fig6 ppf t =
+  figure ppf t ~title:"Fig. 6: data latency (seconds) vs pause time"
+    ~protocols:t.Experiment.protocols
+    ~value:(fun c -> Stats.Summary.mean c.Experiment.latency)
+
+let fig7 ppf t =
+  let protocols =
+    List.filter
+      (fun p -> List.mem p Config.fig7_protocols)
+      t.Experiment.protocols
+  in
+  figure ppf t
+    ~title:"Fig. 7: average node sequence number vs pause time (zero-based)"
+    ~protocols
+    ~value:(fun c -> Stats.Summary.mean c.Experiment.seqno);
+  if List.mem Config.Srp protocols then begin
+    let max_denom =
+      List.fold_left
+        (fun acc pause ->
+          let c = Experiment.cell t Config.Srp pause in
+          Stdlib.max acc c.Experiment.max_denominator)
+        0 t.Experiment.pauses
+    in
+    Format.fprintf ppf
+      "SRP max feasible-distance denominator over the campaign: %d (paper: \
+       stayed under 840 million; 32-bit bound is %d)@."
+      max_denom Slr.Fraction.bound
+  end
+
+let all ppf t =
+  table1 ppf t;
+  Format.pp_print_newline ppf ();
+  fig3 ppf t;
+  Format.pp_print_newline ppf ();
+  fig4 ppf t;
+  Format.pp_print_newline ppf ();
+  fig5 ppf t;
+  Format.pp_print_newline ppf ();
+  fig6 ppf t;
+  Format.pp_print_newline ppf ();
+  fig7 ppf t

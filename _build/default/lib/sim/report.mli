@@ -1,0 +1,25 @@
+(** Text renderings of the paper's Table I and Figures 3–7 from a completed
+    campaign. Figures are printed as aligned data tables (pause time on the
+    x-axis, one column per protocol) — the same series a plotting script
+    would consume. *)
+
+val table1 : Format.formatter -> Experiment.t -> unit
+
+(** Fig. 3: average MAC-layer drops per node vs pause time. *)
+val fig3 : Format.formatter -> Experiment.t -> unit
+
+(** Fig. 4: delivery ratio vs pause time. *)
+val fig4 : Format.formatter -> Experiment.t -> unit
+
+(** Fig. 5: network load vs pause time (the paper plots this semi-log). *)
+val fig5 : Format.formatter -> Experiment.t -> unit
+
+(** Fig. 6: data latency vs pause time. *)
+val fig6 : Format.formatter -> Experiment.t -> unit
+
+(** Fig. 7: average node sequence number vs pause time (SRP, LDR, AODV),
+    plus SRP's maximum denominator (§V's "stayed under 840 million"). *)
+val fig7 : Format.formatter -> Experiment.t -> unit
+
+(** Everything, in paper order. *)
+val all : Format.formatter -> Experiment.t -> unit

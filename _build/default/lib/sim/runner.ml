@@ -1,0 +1,120 @@
+module Frame = Wireless.Frame
+
+let build_agent (config : Config.t) ctx =
+  match config.protocol with
+  | Config.Srp -> Protocols.Srp.create ~config:config.srp ctx
+  | Config.Ldr -> Protocols.Ldr.create ~config:config.ldr ctx
+  | Config.Aodv -> Protocols.Aodv.create ~config:config.aodv ctx
+  | Config.Dsr -> Protocols.Dsr.create ~config:config.dsr ctx
+  | Config.Olsr -> Protocols.Olsr.create ~config:config.olsr ctx
+
+let run_custom_detailed (config : Config.t) ~build ~on_start =
+  let engine = Des.Engine.create () in
+  let root = Des.Rng.create (Int64.of_int config.seed) in
+  (* protocol-independent substreams: identical across protocols *)
+  let mobility_rng = Des.Rng.split root "mobility" in
+  let traffic_rng = Des.Rng.split root "traffic" in
+  let scripts =
+    Array.init config.nodes (fun i ->
+        Wireless.Waypoint.generate ~terrain:config.terrain
+          ~rng:(Des.Rng.split mobility_rng (string_of_int i))
+          ~pause:config.pause ~speed_min:config.speed_min
+          ~speed_max:config.speed_max ~duration:config.duration)
+  in
+  let position i time = Wireless.Waypoint.position scripts.(i) time in
+  let channel =
+    Wireless.Channel.create engine ~nodes:config.nodes ~position
+      ~range:config.radio.Wireless.Radio.range
+      ~cs_range:config.radio.Wireless.Radio.cs_range
+  in
+  let metrics = Metrics.create () in
+  let agents : Protocols.Routing_intf.agent option array =
+    Array.make config.nodes None
+  in
+  let agent i =
+    match agents.(i) with
+    | Some a -> a
+    | None -> invalid_arg "Runner: agent not wired"
+  in
+  let macs =
+    Array.init config.nodes (fun i ->
+        Wireless.Mac80211.create engine config.radio channel ~id:i
+          ~rng:(Des.Rng.split root (Printf.sprintf "mac-%d" i))
+          {
+            Wireless.Mac80211.on_receive =
+              (fun ~src frame -> (agent i).Protocols.Routing_intf.receive ~src frame);
+            on_unicast_success =
+              (fun ~frame ~dst ->
+                (agent i).Protocols.Routing_intf.unicast_ok ~frame ~dst);
+            on_unicast_fail =
+              (fun ~frame ~dst ->
+                (agent i).Protocols.Routing_intf.unicast_failed ~frame ~dst);
+          })
+  in
+  for i = 0 to config.nodes - 1 do
+    let ctx =
+      {
+        Protocols.Routing_intf.id = i;
+        node_count = config.nodes;
+        engine;
+        rng = Des.Rng.split root (Printf.sprintf "agent-%d" i);
+        mac_send = (fun frame -> Wireless.Mac80211.send macs.(i) frame);
+        deliver =
+          (fun data ->
+            Metrics.on_delivered metrics ~now:(Des.Engine.now engine) data);
+        drop_data = (fun data ~reason -> Metrics.on_dropped metrics data ~reason);
+      }
+    in
+    agents.(i) <- Some (build i ctx)
+  done;
+  on_start engine;
+  let flows =
+    Traffic.Cbr.generate ~rng:traffic_rng ~nodes:config.nodes
+      ~concurrent:config.flows ~from_time:config.traffic_start
+      ~until:config.duration ~mean_duration:config.flow_mean_duration
+  in
+  Traffic.Cbr.schedule engine ~flows ~rate:config.packet_rate
+    ~size:config.packet_size ~send:(fun ~src data ~size ->
+      Metrics.on_sent metrics data;
+      (agent src).Protocols.Routing_intf.originate data ~size);
+  Des.Engine.run engine ~until:config.duration;
+  let control_tx =
+    Array.fold_left
+      (fun acc mac -> acc + (Wireless.Mac80211.stats mac).Wireless.Mac80211.tx_control)
+      0 macs
+  in
+  let mac_drops =
+    Array.fold_left (fun acc mac -> acc + Wireless.Mac80211.drops mac) 0 macs
+  in
+  let sum_stat f =
+    Array.fold_left (fun acc mac -> acc + f (Wireless.Mac80211.stats mac)) 0 macs
+  in
+  let gauges =
+    Array.to_list
+      (Array.map
+         (fun a ->
+           match a with
+           | Some agent -> agent.Protocols.Routing_intf.gauges ()
+           | None -> Protocols.Routing_intf.no_gauges)
+         agents)
+  in
+  let result =
+    Metrics.finalize metrics ~control_tx
+      ~data_tx:(sum_stat (fun s -> s.Wireless.Mac80211.tx_data))
+      ~drop_queue_full:(sum_stat (fun s -> s.Wireless.Mac80211.drop_queue_full))
+      ~drop_retry:(sum_stat (fun s -> s.Wireless.Mac80211.drop_retry))
+      ~mac_drops
+      ~collisions:(Wireless.Channel.collisions channel)
+      ~nodes:config.nodes ~gauges
+  in
+  (result, gauges)
+
+let run_detailed config =
+  run_custom_detailed config
+    ~build:(fun _ ctx -> build_agent config ctx)
+    ~on_start:(fun _ -> ())
+
+let run_custom config ~build ~on_start =
+  fst (run_custom_detailed config ~build ~on_start)
+
+let run config = fst (run_detailed config)

@@ -1,0 +1,24 @@
+(** Builds a complete simulated world from a {!Config.t} — mobility scripts,
+    channel, one MAC and one routing agent per node, CBR traffic — runs it,
+    and returns the paper's metrics.
+
+    Mobility and traffic scripts depend only on [config.seed], never on the
+    protocol, so different protocols in the same trial face identical node
+    movement and packet demands (the paper's methodology). *)
+
+(** Run one simulation to completion. *)
+val run : Config.t -> Metrics.result
+
+(** Like {!run} but also exposes the per-node agent gauges (for tests). *)
+val run_detailed :
+  Config.t -> Metrics.result * Protocols.Routing_intf.gauges list
+
+(** [run_custom config ~build ~on_start] runs with caller-supplied agents
+    ([build node_id ctx]) and a hook invoked with the engine before the
+    simulation starts (for scheduling instrumentation such as the
+    loop-freedom sweeps of {!Loopcheck}). *)
+val run_custom :
+  Config.t ->
+  build:(int -> Protocols.Routing_intf.ctx -> Protocols.Routing_intf.agent) ->
+  on_start:(Des.Engine.t -> unit) ->
+  Metrics.result

@@ -1,0 +1,1 @@
+lib/slr/bigfrac.ml: Bignat Format String

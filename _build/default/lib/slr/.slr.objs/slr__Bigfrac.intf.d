@@ -1,0 +1,1 @@
+lib/slr/bigfrac.mli: Bignat Format

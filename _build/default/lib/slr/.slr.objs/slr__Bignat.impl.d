@@ -1,0 +1,1 @@
+lib/slr/bignat.ml: Array Buffer Char Format List Stdlib String

@@ -1,0 +1,1 @@
+lib/slr/bignat.mli: Format

@@ -1,0 +1,1 @@
+lib/slr/dag.ml: Array List

@@ -1,0 +1,1 @@
+lib/slr/farey.ml: Fraction Int64

@@ -1,0 +1,1 @@
+lib/slr/farey.mli: Fraction

@@ -1,0 +1,1 @@
+lib/slr/fraction.ml: Format Int64 Stdlib

@@ -1,0 +1,1 @@
+lib/slr/fraction.mli: Format

@@ -1,0 +1,1 @@
+lib/slr/lexlabel.ml: Buffer Char Format String

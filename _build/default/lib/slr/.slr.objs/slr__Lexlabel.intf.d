@@ -1,0 +1,1 @@
+lib/slr/lexlabel.mli: Format

@@ -1,0 +1,1 @@
+lib/slr/new_order.ml: Fraction List Ordering

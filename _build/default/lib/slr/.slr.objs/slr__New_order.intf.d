@@ -1,0 +1,1 @@
+lib/slr/new_order.mli: Fraction Ordering

@@ -1,0 +1,1 @@
+lib/slr/ordering.ml: Format Fraction

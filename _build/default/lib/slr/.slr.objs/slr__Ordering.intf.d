@@ -1,0 +1,1 @@
+lib/slr/ordering.mli: Format Fraction

@@ -1,0 +1,1 @@
+lib/slr/ordinal.ml: Bigfrac Format Fraction Lexlabel

@@ -1,0 +1,1 @@
+lib/slr/simple_net.ml: Array Dag Format Fun Int List Ordinal Queue Set Split_label

@@ -1,0 +1,1 @@
+lib/slr/simple_net.mli: Format Ordinal

@@ -1,0 +1,1 @@
+lib/slr/split_label.mli: Ordinal

@@ -1,0 +1,139 @@
+(* Little-endian limbs in base 2^30, canonical form: no trailing zero limb,
+   zero is the empty array. Base 2^30 keeps limb products within native-int
+   range (60 bits + carries < 63). *)
+
+let limb_bits = 30
+
+let base = 1 lsl limb_bits
+
+let mask = base - 1
+
+type t = int array
+
+let zero : t = [||]
+
+let is_zero t = Array.length t = 0
+
+let normalize a =
+  let n = ref (Array.length a) in
+  while !n > 0 && a.(!n - 1) = 0 do
+    decr n
+  done;
+  if !n = Array.length a then a else Array.sub a 0 !n
+
+let of_int n =
+  if n < 0 then invalid_arg "Bignat.of_int: negative";
+  let rec limbs n acc = if n = 0 then List.rev acc else limbs (n lsr limb_bits) ((n land mask) :: acc) in
+  Array.of_list (limbs n [])
+
+let one = of_int 1
+
+let to_int t =
+  (* at most three 30-bit limbs fit (62 bits < 63) *)
+  match Array.length t with
+  | 0 -> Some 0
+  | 1 -> Some t.(0)
+  | 2 -> Some (t.(0) lor (t.(1) lsl limb_bits))
+  | 3 when t.(2) < 1 lsl (62 - (2 * limb_bits)) ->
+      Some (t.(0) lor (t.(1) lsl limb_bits) lor (t.(2) lsl (2 * limb_bits)))
+  | _ -> None
+
+let add a b =
+  let la = Array.length a and lb = Array.length b in
+  let len = max la lb + 1 in
+  let out = Array.make len 0 in
+  let carry = ref 0 in
+  for i = 0 to len - 1 do
+    let av = if i < la then a.(i) else 0 in
+    let bv = if i < lb then b.(i) else 0 in
+    let sum = av + bv + !carry in
+    out.(i) <- sum land mask;
+    carry := sum lsr limb_bits
+  done;
+  assert (!carry = 0);
+  normalize out
+
+let mul a b =
+  let la = Array.length a and lb = Array.length b in
+  if la = 0 || lb = 0 then zero
+  else begin
+    let out = Array.make (la + lb) 0 in
+    for i = 0 to la - 1 do
+      let carry = ref 0 in
+      for j = 0 to lb - 1 do
+        let acc = out.(i + j) + (a.(i) * b.(j)) + !carry in
+        out.(i + j) <- acc land mask;
+        carry := acc lsr limb_bits
+      done;
+      let k = ref (i + lb) in
+      while !carry <> 0 do
+        let acc = out.(!k) + !carry in
+        out.(!k) <- acc land mask;
+        carry := acc lsr limb_bits;
+        incr k
+      done
+    done;
+    normalize out
+  end
+
+let compare a b =
+  let la = Array.length a and lb = Array.length b in
+  if la <> lb then Stdlib.compare la lb
+  else
+    let rec cmp i =
+      if i < 0 then 0
+      else if a.(i) <> b.(i) then Stdlib.compare a.(i) b.(i)
+      else cmp (i - 1)
+    in
+    cmp (la - 1)
+
+let equal a b = compare a b = 0
+
+let bits t =
+  let n = Array.length t in
+  if n = 0 then 0
+  else
+    let top = t.(n - 1) in
+    let rec width v acc = if v = 0 then acc else width (v lsr 1) (acc + 1) in
+    ((n - 1) * limb_bits) + width top 0
+
+(* Divide in place by a small positive int, returning the remainder. *)
+let divmod_small a d =
+  let n = Array.length a in
+  let out = Array.make n 0 in
+  let rem = ref 0 in
+  for i = n - 1 downto 0 do
+    let cur = (!rem lsl limb_bits) lor a.(i) in
+    out.(i) <- cur / d;
+    rem := cur mod d
+  done;
+  (normalize out, !rem)
+
+let to_string t =
+  if is_zero t then "0"
+  else begin
+    let buf = Buffer.create 32 in
+    let rec loop v =
+      if not (is_zero v) then begin
+        let q, r = divmod_small v 10 in
+        Buffer.add_char buf (Char.chr (Char.code '0' + r));
+        loop q
+      end
+    in
+    loop t;
+    let s = Buffer.contents buf in
+    String.init (String.length s) (fun i -> s.[String.length s - 1 - i])
+  end
+
+let of_string s =
+  if String.length s = 0 then invalid_arg "Bignat.of_string: empty";
+  let ten = of_int 10 in
+  let acc = ref zero in
+  String.iter
+    (fun c ->
+      if c < '0' || c > '9' then invalid_arg "Bignat.of_string: not a digit";
+      acc := add (mul !acc ten) (of_int (Char.code c - Char.code '0')))
+    s;
+  !acc
+
+let pp ppf t = Format.pp_print_string ppf (to_string t)

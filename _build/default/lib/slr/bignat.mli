@@ -1,0 +1,36 @@
+(** Arbitrary-precision natural numbers (hand-rolled; zarith is not available
+    in this environment). Just enough arithmetic for unbounded proper-fraction
+    labels: addition, multiplication, comparison, and decimal conversion. *)
+
+type t
+
+val zero : t
+
+val one : t
+
+(** @raise Invalid_argument on negative input. *)
+val of_int : int -> t
+
+(** [to_int t] is [Some n] when the value fits in a native [int]. *)
+val to_int : t -> int option
+
+val add : t -> t -> t
+
+val mul : t -> t -> t
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+val is_zero : t -> bool
+
+(** Number of significant bits (0 for zero). *)
+val bits : t -> int
+
+(** Decimal string. *)
+val to_string : t -> string
+
+(** Parse a decimal string. @raise Invalid_argument on malformed input. *)
+val of_string : string -> t
+
+val pp : Format.formatter -> t -> unit

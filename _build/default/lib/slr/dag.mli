@@ -1,0 +1,22 @@
+(** Invariant checkers for per-destination successor graphs: topological
+    order of labels (the paper's loop-freedom invariant, Theorem 3) and
+    direct acyclicity by depth-first search (an independent oracle the
+    property tests compare against). Nodes are integers in [0, n). *)
+
+(** [topological_order ~label ~successors n] verifies that every successor
+    edge [(i, j)] satisfies [label j < label i] under [compare]. Returns the
+    offending edge on failure. *)
+val topological_order :
+  compare:('l -> 'l -> int) ->
+  label:(int -> 'l) ->
+  successors:(int -> int list) ->
+  int ->
+  (unit, int * int) result
+
+(** [acyclic ~successors n] is [Ok ()] when the directed graph has no cycle,
+    or [Error cycle] with a witness cycle (first node repeated at the end). *)
+val acyclic : successors:(int -> int list) -> int -> (unit, int list) result
+
+(** [reaches ~successors ~src ~dst n] — can [src] reach [dst] following
+    successor edges? *)
+val reaches : successors:(int -> int list) -> src:int -> dst:int -> int -> bool

@@ -1,0 +1,85 @@
+type t = Top | Key of string
+
+let least = Key ""
+
+let top = Top
+
+let canonical s =
+  String.length s = 0 || s.[String.length s - 1] <> '\000'
+
+let of_string s =
+  if not (canonical s) then
+    invalid_arg "Lexlabel.of_string: trailing NUL is non-canonical";
+  Key s
+
+let compare a b =
+  match (a, b) with
+  | Top, Top -> 0
+  | Top, Key _ -> 1
+  | Key _, Top -> -1
+  | Key x, Key y -> String.compare x y
+
+let equal a b = compare a b = 0
+
+let next = function
+  | Top -> None
+  | Key s -> Some (Key (s ^ "\001"))
+
+(* Digit-wise midpoint of the base-256 fractions 0.lo and 0.hi: walk the
+   digits; at the first position where they differ by >= 2 take the floor
+   midpoint (strictly inside, canonical since it is non-zero); when they
+   differ by exactly 1 the answer is lo extended by one minimal digit,
+   zero-padded to the current position. *)
+let between ~lo ~hi =
+  if compare lo hi >= 0 then invalid_arg "Lexlabel.between: requires lo < hi";
+  match (lo, hi) with
+  | Top, _ -> assert false
+  | Key l, hi_label ->
+      let digit s i = if i < String.length s then Char.code s.[i] else 0 in
+      let hi_digit i =
+        match hi_label with
+        | Top -> if i = 0 then 256 else assert false
+        | Key h -> digit h i
+      in
+      let buf = Buffer.create (String.length l + 1) in
+      let rec walk i =
+        let a = digit l i in
+        let b = hi_digit i in
+        if b - a >= 2 then begin
+          Buffer.add_char buf (Char.chr ((a + b) / 2));
+          Key (Buffer.contents buf)
+        end
+        else if b = a + 1 then begin
+          (* lo, zero-padded through position i, extended minimally *)
+          Buffer.add_char buf (Char.chr a);
+          let rest =
+            if i + 1 < String.length l then
+              String.sub l (i + 1) (String.length l - i - 1)
+            else ""
+          in
+          Buffer.add_string buf rest;
+          Buffer.add_char buf '\001';
+          Key (Buffer.contents buf)
+        end
+        else begin
+          (* equal digits: keep walking; lo < hi guarantees a difference
+             (or hi = Top, handled at i = 0) *)
+          Buffer.add_char buf (Char.chr a);
+          walk (i + 1)
+        end
+      in
+      if hi_label = Top then begin
+        let a = digit l 0 in
+        if a <= 254 then Some (Key (String.make 1 (Char.chr ((a + 256) / 2))))
+        else Some (Key (l ^ "\001"))
+      end
+      else Some (walk 0)
+
+let width = function Top -> 0 | Key s -> String.length s
+
+let pp ppf = function
+  | Top -> Format.pp_print_string ppf "<top>"
+  | Key "" -> Format.pp_print_string ppf "<least>"
+  | Key s ->
+      Format.pp_print_string ppf "0x";
+      String.iter (fun c -> Format.fprintf ppf "%02x" (Char.code c)) s

@@ -1,0 +1,40 @@
+(** Dense labels as lexicographically ordered byte strings — the other
+    sub-divisible feasible distance the paper names (§I: "such as a
+    lexicographically sorted string or a subset of the real numbers").
+
+    A label is a finite byte string with no trailing [\x00] (the canonical
+    form under which lexicographic order coincides with the value of the
+    base-256 fraction [0.s]), or the distinguished greatest element
+    {!top}. The set is dense and infinite: {!between} always succeeds,
+    at the cost of labels growing one byte per worst-case split —
+    the same width-versus-reset trade-off as {!Bigfrac}, but with cheap
+    ordering (a [memcmp]) and a compact wire format. *)
+
+type t = private Top | Key of string
+
+(** The empty string — the least label, naturally the destination's. *)
+val least : t
+
+(** The greatest element; not the next-element of anything. *)
+val top : t
+
+(** [of_string s] validates canonicity.
+    @raise Invalid_argument on a trailing [\x00]. *)
+val of_string : string -> t
+
+val compare : t -> t -> int
+
+val equal : t -> t -> bool
+
+(** [next t] is a label strictly greater: [t ^ "\x01"]. [None] for {!top}. *)
+val next : t -> t option
+
+(** [between ~lo ~hi] is a canonical label strictly inside ([lo], [hi]).
+    Total for this set: always [Some] when [lo < hi].
+    @raise Invalid_argument unless [lo < hi]. *)
+val between : lo:t -> hi:t -> t option
+
+(** Bytes of the label (0 for {!least}; the set's growth measure). *)
+val width : t -> int
+
+val pp : Format.formatter -> t -> unit

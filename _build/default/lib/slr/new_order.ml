@@ -1,0 +1,71 @@
+type result = { order : Ordering.t; case : case }
+
+and case =
+  | Infinite
+  | Fresher_next
+  | Fresher_split
+  | Keep_current
+  | Equal_split
+
+let feasible ~current ~adv = Ordering.precedes current adv
+
+(* The paper proves Theorem 6 under Lemma 1's protocol invariants (the
+   advertisement is feasible at the node, and sn_C <= sn_? along any request
+   path). A stale or reordered packet can violate them, and then a literal
+   Algorithm 1 may emit a label that *raises* the node (breaking Eq. 3) or
+   sits at or below the advertisement (breaking Eq. 5). We validate the
+   candidate against Eqs. 3-5 and degrade to the infinite ordering instead,
+   which makes the theorem unconditional. *)
+let maintains_order ~current ~cached ~adv g =
+  (Ordering.equal g current || Ordering.precedes current g)
+  && Ordering.precedes cached g
+  && Ordering.precedes g adv
+
+(* Direct transcription of Algorithm 1. [split] interpolates the cached
+   solicitation fraction with the advertisement's, keeping the
+   advertisement's sequence number (lines 7 and 12). *)
+let compute_with ~split ~current ~cached ~adv =
+  let split () =
+    (* the interval is (adv.frac, cached.frac): the advertisement is the
+       lower label's fraction ... at equal sequence numbers the feasible
+       advertisement has the smaller fraction *)
+    let lo = adv.Ordering.frac and hi = cached.Ordering.frac in
+    if Fraction.compare lo hi >= 0 then None
+    else
+      match split ~lo ~hi with
+      | None -> None
+      | Some frac -> Some (Ordering.make ~sn:adv.Ordering.sn ~frac)
+  in
+  let candidate =
+    if current.Ordering.sn < adv.Ordering.sn then
+      if cached.Ordering.sn < adv.Ordering.sn then
+        match Ordering.next adv with
+        | Some order -> { order; case = Fresher_next }
+        | None -> { order = Ordering.unassigned; case = Infinite }
+      else begin
+        match split () with
+        | Some order -> { order; case = Fresher_split }
+        | None -> { order = Ordering.unassigned; case = Infinite }
+      end
+    else if current.Ordering.sn = adv.Ordering.sn then
+      if Ordering.precedes cached current then
+        { order = current; case = Keep_current }
+      else begin
+        match split () with
+        | Some order -> { order; case = Equal_split }
+        | None -> { order = Ordering.unassigned; case = Infinite }
+      end
+    else { order = Ordering.unassigned; case = Infinite }
+  in
+  if
+    candidate.case = Infinite
+    || maintains_order ~current ~cached ~adv candidate.order
+  then candidate
+  else { order = Ordering.unassigned; case = Infinite }
+
+let compute ~current ~cached ~adv =
+  compute_with ~split:(fun ~lo ~hi -> Fraction.mediant lo hi) ~current ~cached
+    ~adv
+
+let filter_successors ~order succs =
+  List.filter (fun (_, s) -> Ordering.precedes order s) succs

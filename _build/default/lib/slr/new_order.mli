@@ -1,0 +1,61 @@
+(** Algorithm 1 of the paper: NEWORDER — compute a node's new label from a
+    feasible advertisement and the cached minimum predecessor ordering of the
+    corresponding solicitation.
+
+    Inputs (paper notation): [current] is [O_A^T], [cached] is [C_A^?] (use
+    {!Ordering.unassigned} when there is no cached solicitation — RREQ/Hello
+    advertisements or the terminus of a RREP), [adv] is [O_?^T].
+
+    The result either maintains order (Theorem 6) or is the infinite
+    ordering [(0, (1,1))], which the caller must treat as "drop the
+    advertisement" (Procedure 3). *)
+
+(** Outcome of NEWORDER, plus which line of Algorithm 1 produced it
+    (exposed so tests can pin the case analysis of Theorem 6). *)
+type result = {
+  order : Ordering.t;  (** the new label [G_A^T]; infinite when rejected *)
+  case : case;
+}
+
+and case =
+  | Infinite  (** line 2 falls through: stale seqno or fraction overflow *)
+  | Fresher_next  (** line 5: [adv + 1/1], both seqnos below [adv]'s *)
+  | Fresher_split  (** line 7: split cached fraction with [adv]'s *)
+  | Keep_current  (** line 10: current label already satisfies Eq. 4 *)
+  | Equal_split  (** line 12: split at equal sequence numbers *)
+
+val compute :
+  current:Ordering.t -> cached:Ordering.t -> adv:Ordering.t -> result
+
+(** Like {!compute} with a custom interpolation for lines 7 and 12:
+    [split ~lo ~hi] must return a fraction strictly inside ([lo], [hi]) or
+    [None]. The default is the mediant (Eq. 1); passing
+    {!Farey.simplest_between} yields minimal-denominator labels — the
+    fraction-reduction extension the paper sketches as future work (§VI). *)
+val compute_with :
+  split:(lo:Fraction.t -> hi:Fraction.t -> Fraction.t option) ->
+  current:Ordering.t ->
+  cached:Ordering.t ->
+  adv:Ordering.t ->
+  result
+
+(** [feasible ~current ~adv] is the Procedure 3 admission check: the
+    advertisement's label must be a feasible in-order successor label for
+    the node ([current ⊑ adv], Theorem 2 / Eq. 5). *)
+val feasible : current:Ordering.t -> adv:Ordering.t -> bool
+
+(** [maintains_order ~current ~cached ~adv g] checks Eqs. 3–5 of
+    Definition 1 for a candidate label: [g <= current] (labels
+    non-increasing), [g] strictly below the cached solicitation minimum,
+    and strictly above the advertisement. {!compute} validates its own
+    result with this, so Theorem 6 holds for {e arbitrary} inputs, not just
+    ones satisfying Lemma 1's protocol invariants (stale or reordered
+    packets violate them). *)
+val maintains_order :
+  current:Ordering.t -> cached:Ordering.t -> adv:Ordering.t -> Ordering.t -> bool
+
+(** [filter_successors ~order succs] drops successors that are no longer
+    in-order after adopting [order] (Algorithm 1 line 13): keeps [s] iff
+    [order ⊑ s]. *)
+val filter_successors :
+  order:Ordering.t -> ('a * Ordering.t) list -> ('a * Ordering.t) list

@@ -1,0 +1,35 @@
+type t = { sn : int; frac : Fraction.t }
+
+let unassigned = { sn = 0; frac = Fraction.one }
+
+let make ~sn ~frac =
+  if sn < 0 then invalid_arg "Ordering.make: negative sequence number";
+  { sn; frac }
+
+let destination ~sn =
+  if sn <= 0 then invalid_arg "Ordering.destination: sn must be positive";
+  { sn; frac = Fraction.zero }
+
+let is_finite t = not (Fraction.is_one t.frac)
+
+let is_unassigned t = t.sn = 0 && Fraction.is_one t.frac
+
+let precedes a b =
+  a.sn < b.sn || (a.sn = b.sn && Fraction.(b.frac < a.frac))
+
+let min a b = if precedes a b then b else a
+
+let equal a b = a.sn = b.sn && Fraction.equal a.frac b.frac
+
+let add t f =
+  match Fraction.mediant t.frac f with
+  | None -> None
+  | Some frac -> Some { t with frac }
+
+let next t = add t Fraction.one
+
+let split_would_overflow a b = Fraction.would_overflow a.frac b.frac
+
+let pp ppf t = Format.fprintf ppf "(%d, %a)" t.sn Fraction.pp t.frac
+
+let to_string t = Format.asprintf "%a" pp t

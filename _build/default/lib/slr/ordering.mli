@@ -1,0 +1,54 @@
+(** SRP's composite node label [O = (sn, F)] — a destination-controlled
+    sequence number paired with a feasible-distance proper fraction
+    (paper §III, Definitions 4–7).
+
+    The Ordering Criteria (Definition 5) give a strict partial order [⊑]:
+    [precedes a b] (written "a ⊑ b") holds iff [sn a < sn b], or the sequence
+    numbers are equal and [frac b < frac a]. It reads "b is a feasible
+    in-order successor for a": a fresher sequence number, or a smaller
+    fraction at the same freshness, is closer to the destination. *)
+
+type t = { sn : int; frac : Fraction.t }
+
+(** The maximum ordering [(0, (1,1))] held by an unassigned node
+    (Definition 5). *)
+val unassigned : t
+
+(** [make ~sn ~frac] with [sn >= 0]. @raise Invalid_argument otherwise. *)
+val make : sn:int -> frac:Fraction.t -> t
+
+(** A destination's label for itself: [(sn, (0,1))] (Definition 7);
+    [sn] must be non-zero. @raise Invalid_argument otherwise. *)
+val destination : sn:int -> t
+
+(** Finite iff the fraction is strictly below [1/1] (Definition 5). *)
+val is_finite : t -> bool
+
+val is_unassigned : t -> bool
+
+(** [precedes a b] is the OC relation [a ⊑ b] of Definition 5. Strict and
+    partial: [precedes a a = false], and labels equal in both components are
+    incomparable. *)
+val precedes : t -> t -> bool
+
+(** [min a b] is [b] when [a ⊑ b], else [a] (Definition 5). *)
+val min : t -> t -> t
+
+(** Structural equality of both components. *)
+val equal : t -> t -> bool
+
+(** [add t f] is Definition 6's ordering addition [(sn, mediant(frac, f))];
+    [None] when a component would overflow 32 bits. Requires [t] finite. *)
+val add : t -> Fraction.t -> t option
+
+(** [next t] is [t + 1/1], the next-element used by Theorem 5 and
+    Algorithm 1 line 5; [None] on overflow. *)
+val next : t -> t option
+
+(** [split_would_overflow a b] mirrors Eq. 11's overflow test: [true] when
+    the fraction mediant of [a] and [b] cannot be represented. *)
+val split_would_overflow : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit
+
+val to_string : t -> string

@@ -1,0 +1,97 @@
+(** The dense ordinal label set of SLR (paper §II).
+
+    [L] must be dense with a greatest element, a strict linear order, and a
+    next-element operator. Bounded implementations (SRP's 32-bit fractions)
+    may fail to produce a label — [next]/[between] return [None] — which the
+    protocol masks with a destination-controlled sequence-number reset. *)
+
+module type S = sig
+  type t
+
+  (** Strict linear order. *)
+  val compare : t -> t -> int
+
+  val equal : t -> t -> bool
+
+  (** Natural label for the destination (not required by the paper to exist,
+      but convenient: "it is convenient if the set also has a smallest
+      element"). *)
+  val least : t
+
+  (** The label of an unassigned node; not the next-element of any label. *)
+  val greatest : t
+
+  (** [next a] is a label strictly greater than [a]; [None] for
+      [greatest] or on overflow of a bounded set. *)
+  val next : t -> t option
+
+  (** [between ~lo ~hi] is a label strictly inside the open interval
+      ([lo], [hi]); requires [lo < hi]. [None] only for bounded sets that
+      cannot split further. *)
+  val between : lo:t -> hi:t -> t option
+
+  val pp : Format.formatter -> t -> unit
+end
+
+(** SRP's bounded proper fractions: dense up to 32-bit overflow. *)
+module Bounded_fraction : S with type t = Fraction.t = struct
+  type t = Fraction.t
+
+  let compare = Fraction.compare
+
+  let equal = Fraction.equal
+
+  let least = Fraction.zero
+
+  let greatest = Fraction.one
+
+  let next = Fraction.next
+
+  let between ~lo ~hi =
+    assert (Fraction.(lo < hi));
+    Fraction.mediant lo hi
+
+  let pp = Fraction.pp
+end
+
+(** Lexicographic byte strings (§I's "lexicographically sorted string"):
+    dense, infinite, cheap to compare; labels grow at most a byte per
+    worst-case split. *)
+module Lex_string : S with type t = Lexlabel.t = struct
+  type t = Lexlabel.t
+
+  let compare = Lexlabel.compare
+
+  let equal = Lexlabel.equal
+
+  let least = Lexlabel.least
+
+  let greatest = Lexlabel.top
+
+  let next = Lexlabel.next
+
+  let between ~lo ~hi = Lexlabel.between ~lo ~hi
+
+  let pp = Lexlabel.pp
+end
+
+(** The idealised unbounded set of §II: splitting never fails. *)
+module Unbounded_fraction : S with type t = Bigfrac.t = struct
+  type t = Bigfrac.t
+
+  let compare = Bigfrac.compare
+
+  let equal = Bigfrac.equal
+
+  let least = Bigfrac.zero
+
+  let greatest = Bigfrac.one
+
+  let next = Bigfrac.next
+
+  let between ~lo ~hi =
+    assert (Bigfrac.(lo < hi));
+    Some (Bigfrac.mediant lo hi)
+
+  let pp = Bigfrac.pp
+end

@@ -1,0 +1,29 @@
+module Make (L : Ordinal.S) = struct
+  let lt a b = L.compare a b < 0
+
+  let le a b = L.compare a b <= 0
+
+  let maintains_order ~candidate ~current ~cached_min ~adv ~succ_max =
+    le candidate current
+    && lt candidate cached_min
+    && lt adv candidate
+    && lt succ_max candidate
+
+  let choose_label ~current ~cached_min ~adv =
+    if not (lt adv current) then None
+    else if lt current cached_min then Some current
+    else if not (lt adv cached_min) then None
+    else begin
+      match L.next adv with
+      | Some n when lt n cached_min -> Some n
+      | Some _ | None -> L.between ~lo:adv ~hi:cached_min
+    end
+
+  let filter_successors ~label succs =
+    List.filter (fun (_, s) -> lt s label) succs
+
+  let successor_max = function
+    | [] -> L.least
+    | (_, s) :: rest ->
+        List.fold_left (fun acc (_, x) -> if lt acc x then x else acc) s rest
+end

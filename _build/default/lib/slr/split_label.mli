@@ -1,0 +1,41 @@
+(** The abstract Split Label Routing rules (paper §II) over any dense ordinal
+    set: Definition 1 (Maintain Order, Eqs. 3–6) and the label-choice
+    strategy the paper narrates — keep the current label when it already
+    satisfies predecessor order, otherwise take the advertisement's
+    next-element, otherwise split the interval. *)
+
+module Make (L : Ordinal.S) : sig
+  (** [maintains_order ~candidate ~current ~cached_min ~adv ~succ_max] checks
+      Eqs. 3–6 of Definition 1:
+      [candidate <= current] (3), [candidate < cached_min] (4),
+      [adv < candidate] (5), [succ_max < candidate] (6).
+      [succ_max] is the maximum successor label, or [L.least] when the
+      successor table is empty. *)
+  val maintains_order :
+    candidate:L.t ->
+    current:L.t ->
+    cached_min:L.t ->
+    adv:L.t ->
+    succ_max:L.t ->
+    bool
+
+  (** [choose_label ~current ~cached_min ~adv] picks a label satisfying
+      Eqs. 3–5 for an advertisement labelled [adv], given the node's current
+      label and the cached minimum predecessor label [M_i]:
+      - [None] when the advertisement is infeasible ([adv >= current]) or no
+        label fits (bounded-set overflow, or [adv >= cached_min]);
+      - keep [current] when [current < cached_min] (Example 2's nodes G, H);
+      - else the next-element of [adv] when it stays below the bound;
+      - else a split strictly between [adv] and [cached_min].
+
+      Eq. 6 is the caller's burden: drop successors not below the new label
+      (the paper's "eliminate certain existing successors"). *)
+  val choose_label : current:L.t -> cached_min:L.t -> adv:L.t -> L.t option
+
+  (** [filter_successors ~label succs] keeps successors with labels strictly
+      below [label] (restores Eq. 6 after relabeling). *)
+  val filter_successors : label:L.t -> ('a * L.t) list -> ('a * L.t) list
+
+  (** Maximum successor label per §II: [L.least] for an empty table. *)
+  val successor_max : ('a * L.t) list -> L.t
+end

@@ -1,0 +1,1 @@
+lib/traffic/cbr.ml: Des Int64 List Stdlib Wireless

@@ -1,0 +1,62 @@
+type flow = { id : int; src : int; dst : int; start : float; stop : float }
+
+let generate ~rng ~nodes ~concurrent ~from_time ~until ~mean_duration =
+  if nodes < 2 then invalid_arg "Cbr.generate: need at least two nodes";
+  let next_id = ref 0 in
+  let fresh_flow start =
+    let src = Des.Rng.int rng nodes in
+    let rec pick_dst () =
+      let dst = Des.Rng.int rng nodes in
+      if dst = src then pick_dst () else dst
+    in
+    let dst = pick_dst () in
+    let duration = Des.Rng.exponential rng ~mean:mean_duration in
+    let id = !next_id in
+    incr next_id;
+    { id; src; dst; start; stop = Stdlib.min until (start +. duration) }
+  in
+  let rec chain start acc =
+    if start >= until then List.rev acc
+    else
+      let f = fresh_flow start in
+      chain f.stop (f :: acc)
+  in
+  List.concat (List.init concurrent (fun _ -> chain from_time []))
+
+let flow_packets f ~rate =
+  let span = f.stop -. f.start in
+  if span <= 0.0 then 0 else int_of_float (ceil (span *. rate))
+
+let packet_count ~flows ~rate =
+  List.fold_left (fun acc f -> acc + flow_packets f ~rate) 0 flows
+
+let schedule engine ~flows ~rate ~size ~send =
+  let seq = ref 0 in
+  List.iter
+    (fun f ->
+      (* desynchronise flows: each gets a stable phase within its period,
+         derived from the flow id so the script stays protocol-independent *)
+      let phase_rng = Des.Rng.create (Int64.of_int (0x5151 + f.id)) in
+      let phase = Des.Rng.float phase_rng (1.0 /. rate) in
+      let n = flow_packets f ~rate in
+      for k = 0 to n - 1 do
+        let time = f.start +. phase +. (float_of_int k /. rate) in
+        if time < f.stop then begin
+          incr seq;
+          let packet_seq = !seq in
+          ignore
+            (Des.Engine.schedule_at engine ~time (fun () ->
+                 let data =
+                   {
+                     Wireless.Frame.origin = f.src;
+                     final_dst = f.dst;
+                     flow = f.id;
+                     seq = packet_seq;
+                     sent_at = Des.Engine.now engine;
+                     hops = 0;
+                   }
+                 in
+                 send ~src:f.src data ~size))
+        end
+      done)
+    flows

@@ -1,0 +1,37 @@
+(** CBR traffic exactly as the paper models it: a fixed number of
+    simultaneous flows; each flow picks a random source and sink, sends
+    fixed-size packets at a constant rate, and lasts an exponentially
+    distributed time (mean 60 s), whereupon a fresh flow replaces it.
+
+    Flows are generated off-line from a seed shared across protocols
+    (the paper's "off-line generated packet generation scripts"). *)
+
+type flow = { id : int; src : int; dst : int; start : float; stop : float }
+
+(** [generate ~rng ~nodes ~concurrent ~from_time ~until ~mean_duration]
+    builds the flow script: [concurrent] slots, each a back-to-back chain of
+    flows covering [\[from_time, until)]. Sources and sinks are distinct
+    uniform nodes. *)
+val generate :
+  rng:Des.Rng.t ->
+  nodes:int ->
+  concurrent:int ->
+  from_time:float ->
+  until:float ->
+  mean_duration:float ->
+  flow list
+
+(** [schedule engine ~flows ~rate ~size ~send] schedules every packet of
+    every flow: flow [f] sends at [f.start + k /. rate] while before
+    [f.stop]. [send] runs at each packet time with a fresh data record
+    (stamped with the current simulated time) and the payload [size]. *)
+val schedule :
+  Des.Engine.t ->
+  flows:flow list ->
+  rate:float ->
+  size:int ->
+  send:(src:int -> Wireless.Frame.data -> size:int -> unit) ->
+  unit
+
+(** Total packets the script will emit (for sanity checks). *)
+val packet_count : flows:flow list -> rate:float -> int

@@ -1,0 +1,1 @@
+lib/wireless/channel.ml: Array Des List Stdlib Vec2

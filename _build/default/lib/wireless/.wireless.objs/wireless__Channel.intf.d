@@ -1,0 +1,1 @@
+lib/wireless/channel.mli: Des Vec2

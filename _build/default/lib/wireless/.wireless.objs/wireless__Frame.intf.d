@@ -1,0 +1,1 @@
+lib/wireless/frame.mli: Format

@@ -1,0 +1,1 @@
+lib/wireless/mac80211.ml: Channel Des Frame Hashtbl Queue Radio Stdlib

@@ -1,0 +1,1 @@
+lib/wireless/mac80211.mli: Channel Des Frame Radio

@@ -1,0 +1,1 @@
+lib/wireless/terrain.ml: Des Vec2

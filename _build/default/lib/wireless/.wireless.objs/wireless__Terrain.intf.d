@@ -1,0 +1,1 @@
+lib/wireless/terrain.mli: Des Vec2

@@ -1,0 +1,1 @@
+lib/wireless/vec2.ml: Format

@@ -1,0 +1,1 @@
+lib/wireless/waypoint.ml: Array Des List Stdlib Terrain Vec2

@@ -1,0 +1,1 @@
+lib/wireless/waypoint.mli: Des Terrain Vec2

@@ -1,0 +1,184 @@
+type reception = {
+  mutable corrupted : bool;
+  rx_end : float;
+  dist : float;  (** sender-to-receiver distance at frame start *)
+}
+
+type 'a t = {
+  engine : Des.Engine.t;
+  nodes : int;
+  position : int -> float -> Vec2.t;
+  range : float;
+  cs_range : float;
+  capture_ratio : float;
+  (* carrier sense reports busy for this long after a frame ends, so that
+     SIFS-spaced ACKs win the medium over DIFS-spaced contenders (the
+     sampling MAC has no NAV; this restores the DIFS > SIFS protection) *)
+  idle_guard : float;
+  receivers : (src:int -> 'a -> unit) option array;
+  tx_until : float array;
+  (* in-progress receptions per node, pruned lazily *)
+  rx_active : reception list array;
+  (* all in-progress transmissions, for carrier sense; pruned lazily *)
+  mutable air : (int * float) list;
+  mutable collision_count : int;
+  collision_at : int array;
+}
+
+let create engine ~nodes ~position ~range ~cs_range =
+  if cs_range < range then invalid_arg "Channel.create: cs_range < range";
+  {
+    engine;
+    nodes;
+    position;
+    range;
+    cs_range;
+    (* ~10 dB capture threshold at path-loss exponent 2 *)
+    capture_ratio = 3.0;
+    idle_guard = 60e-6;
+    receivers = Array.make nodes None;
+    tx_until = Array.make nodes neg_infinity;
+    rx_active = Array.make nodes [];
+    air = [];
+    collision_count = 0;
+    collision_at = Array.make nodes 0;
+  }
+
+let set_receiver t i f = t.receivers.(i) <- Some f
+
+let now t = Des.Engine.now t.engine
+
+let prune t =
+  let time = now t in
+  (* keep entries through the guard window: busy needs them *)
+  t.air <- List.filter (fun (_, until) -> until +. t.idle_guard > time) t.air
+
+let transmitting t i = t.tx_until.(i) > now t
+
+let within t a b ~radius =
+  let time = now t in
+  Vec2.dist_sq (t.position a time) (t.position b time) <= radius *. radius
+
+let in_range t a b = within t a b ~radius:t.range
+
+let busy t i =
+  if transmitting t i then true
+  else begin
+    prune t;
+    let time = now t in
+    List.exists
+      (fun (src, until) ->
+        src <> i
+        && until +. t.idle_guard > time
+        && within t i src ~radius:t.cs_range)
+      t.air
+  end
+
+let busy_until t i =
+  prune t;
+  let time = now t in
+  let horizon = ref time in
+  if t.tx_until.(i) > !horizon then horizon := t.tx_until.(i);
+  List.iter
+    (fun (src, until) ->
+      let guarded = until +. t.idle_guard in
+      if
+        src <> i && guarded > !horizon
+        && within t i src ~radius:t.cs_range
+      then horizon := guarded)
+    t.air;
+  !horizon
+
+let neighbors t i =
+  let time = now t in
+  let pos_i = t.position i time in
+  let result = ref [] in
+  for j = t.nodes - 1 downto 0 do
+    if
+      j <> i
+      && Vec2.dist_sq pos_i (t.position j time) <= t.range *. t.range
+    then result := j :: !result
+  done;
+  !result
+
+let corrupt t node rx =
+  if not rx.corrupted then begin
+    rx.corrupted <- true;
+    t.collision_count <- t.collision_count + 1;
+    t.collision_at.(node) <- t.collision_at.(node) + 1
+  end
+
+(* Capture: a frame whose sender is [capture_ratio] times closer than a
+   competing signal survives the overlap; otherwise the overlap corrupts
+   it. Applied pairwise between overlapping frames and against
+   non-decodable interference. *)
+let clash t j ~rx_a ~rx_b =
+  if rx_a.dist *. t.capture_ratio <= rx_b.dist then corrupt t j rx_b
+  else if rx_b.dist *. t.capture_ratio <= rx_a.dist then corrupt t j rx_a
+  else begin
+    corrupt t j rx_a;
+    corrupt t j rx_b
+  end
+
+let interfere t j rx ~interferer_dist =
+  if rx.dist *. t.capture_ratio > interferer_dist then corrupt t j rx
+
+let transmit t ~src ~duration pdu =
+  let time = now t in
+  let tx_end = time +. duration in
+  prune t;
+  t.air <- (src, tx_end) :: t.air;
+  t.tx_until.(src) <- Stdlib.max t.tx_until.(src) tx_end;
+  (* half duplex: starting a transmission ruins any reception in progress *)
+  t.rx_active.(src) <-
+    List.filter (fun rx -> rx.rx_end > time) t.rx_active.(src);
+  List.iter (corrupt t src) t.rx_active.(src);
+  let pos_src = t.position src time in
+  for j = 0 to t.nodes - 1 do
+    if j <> src then begin
+      let pos_j = t.position j time in
+      let d = Vec2.dist pos_src pos_j in
+      if d <= t.range then begin
+        if transmitting t j then ()
+          (* a transmitting node hears nothing; the frame is simply lost *)
+        else begin
+          let rx = { corrupted = false; rx_end = tx_end; dist = d } in
+          t.rx_active.(j) <-
+            List.filter (fun r -> r.rx_end > time) t.rx_active.(j);
+          (* overlap with receptions already in progress: capture decides *)
+          List.iter (fun other -> clash t j ~rx_a:rx ~rx_b:other)
+            t.rx_active.(j);
+          (* interferers already in the air but too far to decode *)
+          List.iter
+            (fun (other_src, until) ->
+              if other_src <> src && other_src <> j && until > time then begin
+                let di = Vec2.dist (t.position other_src time) pos_j in
+                if di > t.range && di <= t.cs_range then
+                  interfere t j rx ~interferer_dist:di
+              end)
+            t.air;
+          t.rx_active.(j) <- rx :: t.rx_active.(j);
+          ignore
+            (Des.Engine.schedule t.engine ~delay:duration (fun () ->
+                 t.rx_active.(j) <-
+                   List.filter (fun r -> r != rx) t.rx_active.(j);
+                 if (not rx.corrupted) && not (transmitting t j) then begin
+                   match t.receivers.(j) with
+                   | Some deliver -> deliver ~src pdu
+                   | None -> ()
+                 end))
+        end
+      end
+      else if d <= t.cs_range then begin
+        (* interference zone: undecodable, but can stomp receptions *)
+        t.rx_active.(j) <-
+          List.filter (fun r -> r.rx_end > time) t.rx_active.(j);
+        List.iter (fun rx -> interfere t j rx ~interferer_dist:d)
+          t.rx_active.(j)
+      end
+    end
+  done
+
+let collisions t = t.collision_count
+
+let collisions_at t i = t.collision_at.(i)

@@ -1,0 +1,52 @@
+(** Shared broadcast medium with unit-disk propagation and a receiver-side
+    collision model.
+
+    The channel is polymorphic in the PDU it carries (the MAC instantiates
+    it with its own frame type). Reception of a PDU succeeds iff, for the
+    whole airtime, the receiver is (a) within [range] of the sender at
+    transmission start, (b) not transmitting itself, and (c) not hit by any
+    overlapping transmission from another in-range sender — otherwise the
+    PDU is corrupted and silently lost (a collision). Carrier sense reports
+    busy when any in-range node is transmitting. Node positions come from a
+    mobility lookup evaluated at transmission start (frame airtimes are
+    microseconds; node displacement within one frame is negligible). *)
+
+type 'a t
+
+(** @raise Invalid_argument when [cs_range < range]. *)
+val create :
+  Des.Engine.t ->
+  nodes:int ->
+  position:(int -> float -> Vec2.t) ->
+  range:float ->
+  cs_range:float ->
+  'a t
+
+(** Install the upper-layer delivery callback for a node. *)
+val set_receiver : 'a t -> int -> (src:int -> 'a -> unit) -> unit
+
+(** [transmit t ~src ~duration pdu] starts a transmission now. *)
+val transmit : 'a t -> src:int -> duration:float -> 'a -> unit
+
+(** Carrier sense at a node: is any in-range node (or itself) mid-airtime? *)
+val busy : 'a t -> int -> bool
+
+(** [busy_until t i] is the absolute time when the medium around [i] goes
+    idle (including the post-frame guard); [now] when already idle. Lets a
+    MAC anchor its re-contention at the idle boundary the way DCF's frozen
+    backoff counters do. *)
+val busy_until : 'a t -> int -> float
+
+(** Is the node itself transmitting right now? *)
+val transmitting : 'a t -> int -> bool
+
+(** Nodes currently within range of [node] (excluding itself). *)
+val neighbors : 'a t -> int -> int list
+
+val in_range : 'a t -> int -> int -> bool
+
+(** Total receiver-side collision corruptions so far. *)
+val collisions : 'a t -> int
+
+(** Collisions suffered per node (as receiver). *)
+val collisions_at : 'a t -> int -> int

@@ -1,0 +1,33 @@
+type payload = ..
+
+type data = {
+  origin : int;
+  final_dst : int;
+  flow : int;
+  seq : int;
+  sent_at : float;
+  mutable hops : int;
+}
+
+type payload += Data of data
+
+type addr = Unicast of int | Broadcast
+
+type cls = Data_frame | Control_frame
+
+type t = { src : int; dst : addr; size : int; payload : payload; cls : cls }
+
+let make ~src ~dst ~size ~payload =
+  if size <= 0 then invalid_arg "Frame.make: non-positive size";
+  let cls =
+    match payload with Data _ -> Data_frame | _ -> Control_frame
+  in
+  { src; dst; size; payload; cls }
+
+let with_cls t cls = { t with cls }
+
+let is_data t = t.cls = Data_frame
+
+let pp_addr ppf = function
+  | Unicast i -> Format.fprintf ppf "->%d" i
+  | Broadcast -> Format.pp_print_string ppf "->*"

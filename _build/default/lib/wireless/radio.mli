@@ -1,0 +1,38 @@
+(** Radio and MAC timing parameters. Defaults follow the paper's setup:
+    2 Mbps channel, ~250 m nominal range, 802.11 DSSS DCF constants. *)
+
+type t = {
+  bitrate : float;  (** bit/s *)
+  range : float;  (** metres, unit-disk reception radius *)
+  cs_range : float;  (** carrier-sense / interference radius (~2.2x range) *)
+  slot : float;  (** s *)
+  sifs : float;  (** s *)
+  difs : float;  (** s *)
+  cw_min : int;  (** initial contention window (slots - 1) *)
+  cw_max : int;
+  retry_limit : int;  (** unicast retransmissions before link-loss report *)
+  queue_limit : int;  (** interface queue capacity (packets) *)
+  phy_overhead : float;  (** PLCP preamble + header airtime, s *)
+  mac_header : int;  (** bytes added to every frame *)
+  ack_size : int;  (** bytes of an ACK frame *)
+  rts_size : int;  (** bytes of an RTS frame *)
+  cts_size : int;  (** bytes of a CTS frame *)
+  rts_threshold : int;
+      (** unicast frames larger than this use RTS/CTS; the paper-era ns-2 /
+          GloMoSim comparisons ran with RTS on for data frames *)
+}
+
+(** Airtime of an RTS. *)
+val rts_duration : t -> float
+
+(** Airtime of a CTS. *)
+val cts_duration : t -> float
+
+val default : t
+
+(** Airtime of a frame whose network-layer size is [size] bytes (adds the
+    MAC header and PHY overhead). *)
+val tx_duration : t -> size:int -> float
+
+(** Airtime of an ACK. *)
+val ack_duration : t -> float

@@ -1,0 +1,50 @@
+type leg = { depart : float; arrive : float; from_p : Vec2.t; to_p : Vec2.t }
+
+type t = { initial : Vec2.t; legs : leg array }
+
+let generate ~terrain ~rng ~pause ~speed_min ~speed_max ~duration =
+  if speed_min <= 0.0 || speed_max < speed_min then
+    invalid_arg "Waypoint.generate: need 0 < speed_min <= speed_max";
+  if pause < 0.0 then invalid_arg "Waypoint.generate: negative pause";
+  let initial = Terrain.random_point terrain rng in
+  let rec build time pos acc =
+    if time >= duration then List.rev acc
+    else begin
+      let depart = time +. pause in
+      let dest = Terrain.random_point terrain rng in
+      let speed = Des.Rng.uniform rng ~lo:speed_min ~hi:speed_max in
+      let travel = Vec2.dist pos dest /. speed in
+      let leg = { depart; arrive = depart +. travel; from_p = pos; to_p = dest } in
+      build leg.arrive dest (leg :: acc)
+    end
+  in
+  { initial; legs = Array.of_list (build 0.0 initial []) }
+
+let stationary p = { initial = p; legs = [||] }
+
+let position t time =
+  let n = Array.length t.legs in
+  if n = 0 || time <= t.legs.(0).depart then t.initial
+  else begin
+    (* binary search for the last leg with depart <= time *)
+    let lo = ref 0 and hi = ref (n - 1) in
+    while !lo < !hi do
+      let mid = (!lo + !hi + 1) / 2 in
+      if t.legs.(mid).depart <= time then lo := mid else hi := mid - 1
+    done;
+    let leg = t.legs.(!lo) in
+    if time >= leg.arrive then leg.to_p
+    else
+      let frac = (time -. leg.depart) /. (leg.arrive -. leg.depart) in
+      Vec2.lerp leg.from_p leg.to_p ~frac
+  end
+
+let legs t = Array.to_list t.legs
+
+let max_speed t =
+  Array.fold_left
+    (fun acc leg ->
+      let travel = leg.arrive -. leg.depart in
+      if travel <= 0.0 then acc
+      else Stdlib.max acc (Vec2.dist leg.from_p leg.to_p /. travel))
+    0.0 t.legs

@@ -1,0 +1,41 @@
+(** Random-waypoint mobility, generated off-line per trial exactly as the
+    paper does ("off-line generated mobility scripts"), so every protocol in
+    a trial sees identical node movement.
+
+    A node starts at a uniform point, pauses for [pause], then repeatedly:
+    picks a uniform destination, moves toward it in a straight line at a
+    uniform speed in [(speed_min, speed_max)], and pauses for [pause]. A
+    pause of 900 s over a 900 s run means no mobility. *)
+
+type leg = {
+  depart : float;  (** time movement starts *)
+  arrive : float;  (** time movement ends; pause follows until next leg *)
+  from_p : Vec2.t;
+  to_p : Vec2.t;
+}
+
+type t
+
+(** [generate ~terrain ~rng ~pause ~speed_min ~speed_max ~duration] builds
+    one node's movement script covering at least [0, duration].
+    @raise Invalid_argument on non-positive speeds or [speed_min > speed_max]. *)
+val generate :
+  terrain:Terrain.t ->
+  rng:Des.Rng.t ->
+  pause:float ->
+  speed_min:float ->
+  speed_max:float ->
+  duration:float ->
+  t
+
+(** A script that never moves — for static scenarios and tests. *)
+val stationary : Vec2.t -> t
+
+(** Position at time [t >= 0]; constant after the script's last leg. *)
+val position : t -> float -> Vec2.t
+
+(** The script's legs (for tests). *)
+val legs : t -> leg list
+
+(** Maximum speed occurring in the script (for tests). *)
+val max_speed : t -> float

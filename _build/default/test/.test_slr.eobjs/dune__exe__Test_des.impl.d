@@ -1,0 +1,1 @@
+test/test_des.ml: Alcotest Array Des List Printf QCheck2 QCheck_alcotest

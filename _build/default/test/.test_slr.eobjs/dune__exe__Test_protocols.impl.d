@@ -1,0 +1,1 @@
+test/test_protocols.ml: Alcotest Des Hashtbl List Protocols QCheck2 QCheck_alcotest Slr Wireless

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Des Format List Printf Protocols Sim Stats String Traffic Wireless

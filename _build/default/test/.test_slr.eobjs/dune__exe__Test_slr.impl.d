@@ -1,0 +1,1 @@
+test/test_slr.ml: Alcotest Array Char Int List Option Printf QCheck2 QCheck_alcotest Slr String

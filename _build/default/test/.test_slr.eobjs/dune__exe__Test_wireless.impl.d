@@ -1,0 +1,1 @@
+test/test_wireless.ml: Alcotest Array Des Int64 List Printf Wireless

@@ -1,0 +1,1125 @@
+(* White-box tests for the routing agents. Each agent runs against a stub
+   context that captures MAC transmissions, deliveries, and drops, so
+   individual message handlers can be exercised exactly (SRP's Procedures
+   1-4, SDC, Eqs. 9-11; and the baselines' equivalents). *)
+
+module RI = Protocols.Routing_intf
+module Frame = Wireless.Frame
+module O = Slr.Ordering
+module F = Slr.Fraction
+
+type harness = {
+  engine : Des.Engine.t;
+  ctx : RI.ctx;
+  sent : Frame.t list ref;
+  delivered : Frame.data list ref;
+  dropped : (Frame.data * string) list ref;
+}
+
+let harness ?(id = 0) () =
+  let engine = Des.Engine.create () in
+  let sent = ref [] in
+  let delivered = ref [] in
+  let dropped = ref [] in
+  let ctx =
+    {
+      RI.id;
+      node_count = 16;
+      engine;
+      rng = Des.Rng.create 99L;
+      mac_send = (fun f -> sent := f :: !sent);
+      deliver = (fun d -> delivered := d :: !delivered);
+      drop_data = (fun d ~reason -> dropped := (d, reason) :: !dropped);
+    }
+  in
+  { engine; ctx; sent; delivered; dropped }
+
+let run h = Des.Engine.run h.engine ~until:(Des.Engine.now h.engine +. 1.0)
+
+(* advance just far enough for jittered sends, but not into ring retries *)
+let run_short h = Des.Engine.run h.engine ~until:(Des.Engine.now h.engine +. 0.02)
+
+let take_sent h =
+  let frames = List.rev !(h.sent) in
+  h.sent := [];
+  frames
+
+let mk_data ?(origin = 0) ?(dst = 5) ?(seq = 1) () =
+  {
+    Frame.origin;
+    final_dst = dst;
+    flow = 0;
+    seq;
+    sent_at = 0.0;
+    hops = 0;
+  }
+
+let ord sn num den = O.make ~sn ~frac:(F.make ~num ~den)
+
+(* ------------------------------------------------------------------ *)
+(* SRP *)
+
+module Srp = Protocols.Srp
+
+let find_rreq frames =
+  List.filter_map
+    (fun f -> match f.Frame.payload with Srp.Rreq r -> Some (f, r) | _ -> None)
+    frames
+
+let find_rrep frames =
+  List.filter_map
+    (fun f -> match f.Frame.payload with Srp.Rrep r -> Some (f, r) | _ -> None)
+    frames
+
+let test_srp_originate_unassigned () =
+  let h = harness () in
+  let t, agent = Srp.create_full h.ctx in
+  agent.RI.originate (mk_data ()) ~size:512;
+  run_short h;
+  match find_rreq (take_sent h) with
+  | [ (frame, rreq) ] ->
+      Alcotest.(check bool) "broadcast" true (frame.Frame.dst = Frame.Broadcast);
+      Alcotest.(check bool) "U bit" true rreq.Srp.rq_u;
+      Alcotest.(check bool) "no reset" false rreq.Srp.rq_rr;
+      Alcotest.(check int) "first ring ttl" 1 rreq.Srp.rq_ttl;
+      Alcotest.(check int) "seqno untouched" 1 (Srp.own_seqno t)
+  | l -> Alcotest.failf "expected 1 RREQ, got %d" (List.length l)
+
+let test_srp_destination_reply () =
+  let h = harness ~id:5 () in
+  let t, agent = Srp.create_full h.ctx in
+  let rreq =
+    {
+      Srp.rq_src = 0;
+      rq_id = 1;
+      rq_dst = 5;
+      rq_order = O.unassigned;
+      rq_u = true;
+      rq_rr = false;
+      rq_d = false;
+      rq_n = false;
+      rq_hops = 2;
+      rq_ttl = 5;
+      rq_adv = None;
+    }
+  in
+  agent.RI.receive ~src:3
+    (Frame.make ~src:3 ~dst:Frame.Broadcast ~size:52 ~payload:(Srp.Rreq rreq));
+  run h;
+  (match find_rrep (take_sent h) with
+  | [ (frame, rrep) ] ->
+      Alcotest.(check bool) "unicast to last hop" true
+        (frame.Frame.dst = Frame.Unicast 3);
+      Alcotest.(check int) "advertises itself" 5 rrep.Srp.rp_dst;
+      Alcotest.(check int) "destination seqno" 1 rrep.Srp.rp_order.O.sn;
+      Alcotest.(check bool) "fraction 0/1" true
+        (F.is_zero rrep.Srp.rp_order.O.frac);
+      Alcotest.(check int) "distance 0" 0 rrep.Srp.rp_dist
+  | l -> Alcotest.failf "expected 1 RREP, got %d" (List.length l));
+  (* a reset-required solicitation forces a strictly larger seqno *)
+  agent.RI.receive ~src:3
+    (Frame.make ~src:3 ~dst:Frame.Broadcast ~size:52
+       ~payload:(Srp.Rreq { rreq with rq_id = 2; rq_rr = true }));
+  run h;
+  Alcotest.(check int) "seqno bumped by T bit" 2 (Srp.own_seqno t)
+
+let feed_rrep h agent ~dst ~via ~order ~dist ~id =
+  agent.RI.receive ~src:via
+    (Frame.make ~src:via ~dst:(Frame.Unicast h.ctx.RI.id) ~size:44
+       ~payload:
+         (Srp.Rrep
+            {
+              rp_src = h.ctx.RI.id;
+              rp_id = id;
+              rp_dst = dst;
+              rp_order = order;
+              rp_dist = dist;
+              rp_lifetime = 10.0;
+              rp_n = false;
+            }));
+  run_short h
+
+let adopt_route h agent ~dst ~via ~order ~dist =
+  (* deliver a terminus RREP so the agent under test adopts a route *)
+  agent.RI.originate (mk_data ~dst ()) ~size:512;
+  run_short h;
+  let id =
+    match find_rreq (take_sent h) with
+    | (_, r) :: _ -> r.Srp.rq_id
+    | [] -> Alcotest.fail "no RREQ emitted"
+  in
+  feed_rrep h agent ~dst ~via ~order ~dist ~id
+
+let test_srp_adopts_route_and_flushes () =
+  let h = harness () in
+  let t, agent = Srp.create_full h.ctx in
+  adopt_route h agent ~dst:5 ~via:3 ~order:(O.destination ~sn:1) ~dist:0;
+  Alcotest.(check bool) "route active" true (Srp.has_active_route t ~dst:5);
+  (* NEWORDER case II: next element of the destination's label *)
+  Alcotest.(check bool) "own ordering is (1, 1/2)" true
+    (O.equal (Srp.ordering t ~dst:5) (ord 1 1 2));
+  (* the buffered packet went out to the successor *)
+  let datas =
+    List.filter (fun f -> Frame.is_data f) (take_sent h)
+  in
+  (match datas with
+  | [ f ] ->
+      Alcotest.(check bool) "to successor 3" true
+        (f.Frame.dst = Frame.Unicast 3)
+  | l -> Alcotest.failf "expected 1 data frame, got %d" (List.length l));
+  (* forwarding more data uses the same successor *)
+  agent.RI.originate (mk_data ~seq:2 ()) ~size:512;
+  run h;
+  Alcotest.(check int) "forwarded directly" 1
+    (List.length (List.filter Frame.is_data (take_sent h)))
+
+let test_srp_lie_heuristic () =
+  let h = harness () in
+  let t, agent = Srp.create_full h.ctx in
+  adopt_route h agent ~dst:5 ~via:3 ~order:(ord 1 1 3) ~dist:1;
+  ignore (take_sent h);
+  (* own ordering is split/next of 1/3 -> some p/q; force a rediscovery and
+     inspect the solicitation's understated label *)
+  let own = Srp.ordering t ~dst:5 in
+  Des.Engine.run h.engine ~until:20.0;
+  (* route expired (lifetime 10 s) but the label is retained *)
+  Alcotest.(check bool) "route expired" false (Srp.has_active_route t ~dst:5);
+  agent.RI.originate (mk_data ~seq:3 ()) ~size:512;
+  run_short h;
+  match find_rreq (take_sent h) with
+  | (_, rreq) :: _ ->
+      Alcotest.(check bool) "not unassigned" false rreq.Srp.rq_u;
+      Alcotest.(check bool) "lied below own ordering" true
+        (O.precedes own rreq.Srp.rq_order
+         || F.compare rreq.Srp.rq_order.O.frac own.O.frac < 0);
+      (* (p-1)/(q-1) for own = (1, p/q) with p > 1 *)
+      let f = own.O.frac in
+      if f.F.num > 1 then begin
+        Alcotest.(check int) "num - 1" (f.F.num - 1) rreq.Srp.rq_order.O.frac.F.num;
+        Alcotest.(check int) "den - 1" (f.F.den - 1) rreq.Srp.rq_order.O.frac.F.den
+      end
+  | [] -> Alcotest.fail "no RREQ"
+
+let test_srp_relay_strengthens () =
+  let h = harness ~id:7 () in
+  let t, agent = Srp.create_full h.ctx in
+  (* give node 7 a good label for destination 5 *)
+  adopt_route h agent ~dst:5 ~via:3 ~order:(O.destination ~sn:1) ~dist:0;
+  ignore (take_sent h);
+  Des.Engine.run h.engine ~until:15.0;
+  (* now relay a worse solicitation: Eq. 10 must substitute the path min.
+     An expired route means node 7 cannot reply, so it must relay. *)
+  Alcotest.(check bool) "route expired" false (Srp.has_active_route t ~dst:5);
+  let own = Srp.ordering t ~dst:5 in
+  let rreq =
+    {
+      Srp.rq_src = 1;
+      rq_id = 9;
+      rq_dst = 5;
+      rq_order = ord 1 9 10;
+      rq_u = false;
+      rq_rr = false;
+      rq_d = false;
+      rq_n = true;
+      rq_hops = 1;
+      rq_ttl = 4;
+      rq_adv = None;
+    }
+  in
+  agent.RI.receive ~src:2
+    (Frame.make ~src:2 ~dst:Frame.Broadcast ~size:52 ~payload:(Srp.Rreq rreq));
+  run h;
+  match find_rreq (take_sent h) with
+  | [ (_, relayed) ] ->
+      Alcotest.(check bool) "strengthened to own (lower) ordering" true
+        (O.equal relayed.Srp.rq_order (O.min own (ord 1 9 10)));
+      Alcotest.(check int) "hops incremented" 2 relayed.Srp.rq_hops;
+      Alcotest.(check int) "ttl decremented" 3 relayed.Srp.rq_ttl
+  | l -> Alcotest.failf "expected relayed RREQ, got %d frames" (List.length l)
+
+let test_srp_sdc_intermediate_reply () =
+  let h = harness ~id:7 () in
+  let _, agent = Srp.create_full h.ctx in
+  adopt_route h agent ~dst:5 ~via:3 ~order:(O.destination ~sn:1) ~dist:0;
+  ignore (take_sent h);
+  (* the request's ordering is higher than ours and hops >= min_reply_hops:
+     SDC holds, node 7 answers on behalf of the destination *)
+  let rreq =
+    {
+      Srp.rq_src = 1;
+      rq_id = 11;
+      rq_dst = 5;
+      rq_order = ord 1 9 10;
+      rq_u = false;
+      rq_rr = false;
+      rq_d = false;
+      rq_n = true;
+      rq_hops = 2;
+      rq_ttl = 4;
+      rq_adv = None;
+    }
+  in
+  agent.RI.receive ~src:2
+    (Frame.make ~src:2 ~dst:Frame.Broadcast ~size:52 ~payload:(Srp.Rreq rreq));
+  run h;
+  (match find_rrep (take_sent h) with
+  | [ (frame, rrep) ] ->
+      Alcotest.(check bool) "unicast back" true
+        (frame.Frame.dst = Frame.Unicast 2);
+      Alcotest.(check int) "advertises dst 5" 5 rrep.Srp.rp_dst
+  | l -> Alcotest.failf "expected intermediate RREP, got %d" (List.length l));
+  (* reset-required solicitations suppress intermediate replies *)
+  agent.RI.receive ~src:2
+    (Frame.make ~src:2 ~dst:Frame.Broadcast ~size:52
+       ~payload:(Srp.Rreq { rreq with rq_id = 12; rq_rr = true }));
+  run h;
+  Alcotest.(check int) "no reply under T bit" 0
+    (List.length (find_rrep (take_sent h)))
+
+let test_srp_relay_rr_on_overflow () =
+  let h = harness ~id:7 () in
+  let _, agent = Srp.create_full h.ctx in
+  (* adopting (bound-2)/(bound-1) lands our own label on (bound-1)/bound *)
+  let near = F.make ~num:(F.bound - 2) ~den:(F.bound - 1) in
+  adopt_route h agent ~dst:5 ~via:3 ~order:(O.make ~sn:1 ~frac:near) ~dist:0;
+  ignore (take_sent h);
+  (* out-of-order relay whose fraction would overflow on another split:
+     Eq. 11 third case demands the T bit *)
+  let rreq =
+    {
+      Srp.rq_src = 1;
+      rq_id = 21;
+      rq_dst = 5;
+      rq_order = O.make ~sn:1 ~frac:(F.make ~num:1 ~den:F.bound);
+      rq_u = false;
+      rq_rr = false;
+      rq_d = false;
+      rq_n = true;
+      rq_hops = 0;
+      rq_ttl = 4;
+      rq_adv = None;
+    }
+  in
+  agent.RI.receive ~src:2
+    (Frame.make ~src:2 ~dst:Frame.Broadcast ~size:52 ~payload:(Srp.Rreq rreq));
+  run h;
+  match
+    List.filter (fun (_, r) -> r.Srp.rq_id = 21) (find_rreq (take_sent h))
+  with
+  | [ (_, relayed) ] ->
+      Alcotest.(check bool) "T bit set on overflow" true relayed.Srp.rq_rr
+  | l -> Alcotest.failf "expected relay, got %d" (List.length l)
+
+let test_srp_successor_elimination () =
+  let h = harness () in
+  let t, agent = Srp.create_full h.ctx in
+  adopt_route h agent ~dst:5 ~via:3 ~order:(ord 1 1 2) ~dist:1;
+  ignore (take_sent h);
+  (* second, much better advertisement from another neighbour: adopting it
+     must eliminate the now out-of-order successor 3 (Algorithm 1 line 13) *)
+  feed_rrep h agent ~dst:5 ~via:4 ~order:(O.destination ~sn:2) ~dist:0 ~id:999;
+  let succs = List.map fst (Srp.successor_orderings t ~dst:5) in
+  Alcotest.(check (list int)) "stale successor eliminated" [ 4 ]
+    (List.sort compare succs)
+
+let test_srp_rerr_removes_successor () =
+  let h = harness () in
+  let t, agent = Srp.create_full h.ctx in
+  adopt_route h agent ~dst:5 ~via:3 ~order:(O.destination ~sn:1) ~dist:0;
+  ignore (take_sent h);
+  agent.RI.receive ~src:3
+    (Frame.make ~src:3 ~dst:(Frame.Unicast 0) ~size:32
+       ~payload:(Srp.Rerr { re_unreachable = [ 5 ] }));
+  Alcotest.(check bool) "route gone" false (Srp.has_active_route t ~dst:5)
+
+let test_srp_link_failure_recovery () =
+  let h = harness () in
+  let t, agent = Srp.create_full h.ctx in
+  adopt_route h agent ~dst:5 ~via:3 ~order:(O.destination ~sn:1) ~dist:0;
+  ignore (take_sent h);
+  let frame =
+    Frame.make ~src:0 ~dst:(Frame.Unicast 3) ~size:532
+      ~payload:(Frame.Data (mk_data ~seq:9 ()))
+  in
+  agent.RI.unicast_failed ~frame ~dst:3;
+  run h;
+  Alcotest.(check bool) "successor dropped" false
+    (Srp.has_active_route t ~dst:5);
+  (* the packet-cache heuristic: the data is held and a new discovery runs *)
+  Alcotest.(check bool) "rediscovery started" true
+    (find_rreq (take_sent h) <> [])
+
+(* Fuzz / failure injection: arbitrary well-formed control traffic and
+   link failures must never crash the agent, never raise its label for any
+   destination (Eq. 3), and keep every live successor strictly in order
+   (Theorem 1 locally). *)
+
+let fuzz_frac_gen =
+  let open QCheck2.Gen in
+  let* den = int_range 2 50 in
+  let* num = int_range 0 den in
+  return
+    (if num >= den then F.one
+     else if num = 0 then F.zero
+     else F.make ~num ~den)
+
+let fuzz_ordering_gen =
+  let open QCheck2.Gen in
+  let* sn = int_range 0 3 in
+  let* f = fuzz_frac_gen in
+  return (O.make ~sn ~frac:f)
+
+let fuzz_msg_gen =
+  let open QCheck2.Gen in
+  let node = int_range 0 7 in
+  let rreq =
+    let* src = node and* dst = node and* id = int_range 0 5 in
+    let* order = fuzz_ordering_gen in
+    let* rr = bool and* d = bool and* n = bool in
+    let* hops = int_range 0 4 and* ttl = int_range 1 6 in
+    let* from = node in
+    let* adv_order = fuzz_ordering_gen in
+    let* with_adv = bool in
+    return
+      (`Rreq
+        ( from,
+          {
+            Srp.rq_src = src;
+            rq_id = id;
+            rq_dst = dst;
+            rq_order = order;
+            rq_u = O.is_unassigned order;
+            rq_rr = rr;
+            rq_d = d;
+            rq_n = n || not with_adv;
+            rq_hops = hops;
+            rq_ttl = ttl;
+            rq_adv =
+              (if with_adv then Some { Srp.ra_order = adv_order; ra_dist = hops }
+               else None);
+          } ))
+  in
+  let rrep =
+    let* src = node and* dst = node and* id = int_range 0 5 in
+    let* order = fuzz_ordering_gen in
+    let* dist = int_range 0 4 in
+    let* from = node and* nbit = bool in
+    return
+      (`Rrep
+        ( from,
+          {
+            Srp.rp_src = src;
+            rp_id = id;
+            rp_dst = dst;
+            rp_order = order;
+            rp_dist = dist;
+            rp_lifetime = 10.0;
+            rp_n = nbit;
+          } ))
+  in
+  let rerr =
+    let* from = node in
+    let* dsts = list_size (int_range 1 3) node in
+    return (`Rerr (from, { Srp.re_unreachable = dsts }))
+  in
+  let data =
+    let* from = node and* dst = node and* seq = int_range 0 100 in
+    return (`Data (from, dst, seq))
+  in
+  let fail =
+    let* hop = node and* dst = node and* seq = int_range 0 100 in
+    return (`Fail (hop, dst, seq))
+  in
+  oneof [ rreq; rrep; rerr; data; fail ]
+
+let prop_srp_fuzz =
+  QCheck2.Test.make ~name:"SRP survives arbitrary control traffic" ~count:200
+    QCheck2.Gen.(list_size (int_range 1 60) fuzz_msg_gen)
+    (fun msgs ->
+      let h = harness ~id:0 () in
+      let t, agent = Srp.create_full h.ctx in
+      let previous : (int, O.t) Hashtbl.t = Hashtbl.create 8 in
+      List.for_all
+        (fun msg ->
+          (match msg with
+          | `Rreq (from, rreq) when from <> 0 ->
+              agent.RI.receive ~src:from
+                (Frame.make ~src:from ~dst:Frame.Broadcast ~size:52
+                   ~payload:(Srp.Rreq rreq))
+          | `Rreq _ -> ()
+          | `Rrep (from, rrep) when from <> 0 ->
+              agent.RI.receive ~src:from
+                (Frame.make ~src:from ~dst:(Frame.Unicast 0) ~size:44
+                   ~payload:(Srp.Rrep rrep))
+          | `Rrep _ -> ()
+          | `Rerr (from, rerr) when from <> 0 ->
+              agent.RI.receive ~src:from
+                (Frame.make ~src:from ~dst:(Frame.Unicast 0) ~size:32
+                   ~payload:(Srp.Rerr rerr))
+          | `Rerr _ -> ()
+          | `Data (from, dst, seq) when from <> 0 && dst <> 0 ->
+              agent.RI.receive ~src:from
+                (Frame.make ~src:from ~dst:(Frame.Unicast 0) ~size:532
+                   ~payload:(Frame.Data (mk_data ~origin:from ~dst ~seq ())))
+          | `Data _ -> ()
+          | `Fail (hop, dst, seq) when hop <> 0 ->
+              agent.RI.unicast_failed
+                ~frame:
+                  (Frame.make ~src:0 ~dst:(Frame.Unicast hop) ~size:532
+                     ~payload:(Frame.Data (mk_data ~dst ~seq ())))
+                ~dst:hop
+          | `Fail _ -> ());
+          run_short h;
+          (* per-destination invariants after every event *)
+          List.for_all
+            (fun dst ->
+              let own = Srp.ordering t ~dst in
+              let monotone =
+                match Hashtbl.find_opt previous dst with
+                | None -> true
+                | Some old -> O.equal old own || O.precedes old own
+              in
+              Hashtbl.replace previous dst own;
+              monotone
+              && List.for_all
+                   (fun (_, s) -> O.precedes own s)
+                   (Srp.successor_orderings t ~dst))
+            (List.init 8 (fun i -> i) |> List.filter (fun i -> i <> 0)))
+        msgs)
+
+(* ------------------------------------------------------------------ *)
+(* AODV *)
+
+module Aodv = Protocols.Aodv
+
+let aodv_rreq frames =
+  List.filter_map
+    (fun f -> match f.Frame.payload with Aodv.Rreq r -> Some r | _ -> None)
+    frames
+
+let aodv_rrep frames =
+  List.filter_map
+    (fun f -> match f.Frame.payload with Aodv.Rrep r -> Some r | _ -> None)
+    frames
+
+let test_aodv_origination_increments_seqno () =
+  let h = harness () in
+  let t, agent = Aodv.create_full h.ctx in
+  Alcotest.(check int) "starts at zero" 0 (Aodv.own_seqno t);
+  agent.RI.originate (mk_data ()) ~size:512;
+  run_short h;
+  Alcotest.(check int) "incremented per RREQ" 1 (Aodv.own_seqno t);
+  Alcotest.(check int) "one rreq" 1 (List.length (aodv_rreq (take_sent h)))
+
+let test_aodv_destination_reply () =
+  let h = harness ~id:5 () in
+  let t, agent = Aodv.create_full h.ctx in
+  agent.RI.receive ~src:3
+    (Frame.make ~src:3 ~dst:Frame.Broadcast ~size:44
+       ~payload:
+         (Aodv.Rreq
+            {
+              rq_src = 0;
+              rq_src_seqno = 4;
+              rq_id = 1;
+              rq_dst = 5;
+              rq_dst_seqno = Some 7;
+              rq_hops = 2;
+              rq_ttl = 5;
+            }));
+  run h;
+  (match aodv_rrep (take_sent h) with
+  | [ rrep ] ->
+      Alcotest.(check bool) "covers requested seqno" true
+        (rrep.Aodv.rp_dst_seqno >= 7)
+  | l -> Alcotest.failf "expected RREP, got %d" (List.length l));
+  Alcotest.(check bool) "own seqno raised" true (Aodv.own_seqno t >= 7);
+  (* reverse route to the originator was installed *)
+  Alcotest.(check (option int)) "reverse route" (Some 3)
+    (Aodv.next_hop t ~dst:0)
+
+let test_aodv_rrep_builds_forward_route () =
+  let h = harness () in
+  let t, agent = Aodv.create_full h.ctx in
+  agent.RI.originate (mk_data ()) ~size:512;
+  run h;
+  ignore (take_sent h);
+  agent.RI.receive ~src:2
+    (Frame.make ~src:2 ~dst:(Frame.Unicast 0) ~size:40
+       ~payload:
+         (Aodv.Rrep
+            {
+              rp_src = 0;
+              rp_dst = 5;
+              rp_dst_seqno = 3;
+              rp_hops = 1;
+              rp_lifetime = 10.0;
+            }));
+  Alcotest.(check (option int)) "forward route via 2" (Some 2)
+    (Aodv.next_hop t ~dst:5);
+  Alcotest.(check (option int)) "seqno recorded" (Some 3)
+    (Aodv.route_seqno t ~dst:5);
+  run h;
+  (* pending data flushed *)
+  Alcotest.(check int) "data flushed" 1
+    (List.length (List.filter Frame.is_data (take_sent h)))
+
+let test_aodv_stale_rrep_ignored () =
+  let h = harness () in
+  let t, agent = Aodv.create_full h.ctx in
+  let rrep seqno hops via =
+    agent.RI.receive ~src:via
+      (Frame.make ~src:via ~dst:(Frame.Unicast 0) ~size:40
+         ~payload:
+           (Aodv.Rrep
+              {
+                rp_src = 0;
+                rp_dst = 5;
+                rp_dst_seqno = seqno;
+                rp_hops = hops;
+                rp_lifetime = 10.0;
+              }))
+  in
+  rrep 5 3 2;
+  rrep 4 1 7;
+  Alcotest.(check (option int)) "stale seqno rejected" (Some 2)
+    (Aodv.next_hop t ~dst:5);
+  rrep 5 1 8;
+  Alcotest.(check (option int)) "same seqno fewer hops accepted" (Some 8)
+    (Aodv.next_hop t ~dst:5)
+
+let test_aodv_rerr () =
+  let h = harness () in
+  let t, agent = Aodv.create_full h.ctx in
+  agent.RI.receive ~src:2
+    (Frame.make ~src:2 ~dst:(Frame.Unicast 0) ~size:40
+       ~payload:
+         (Aodv.Rrep
+            {
+              rp_src = 0;
+              rp_dst = 5;
+              rp_dst_seqno = 3;
+              rp_hops = 1;
+              rp_lifetime = 10.0;
+            }));
+  Alcotest.(check (option int)) "route up" (Some 2) (Aodv.next_hop t ~dst:5);
+  agent.RI.receive ~src:2
+    (Frame.make ~src:2 ~dst:Frame.Broadcast ~size:32
+       ~payload:(Aodv.Rerr { re_unreachable = [ (5, 4) ] }));
+  Alcotest.(check (option int)) "route invalidated" None
+    (Aodv.next_hop t ~dst:5)
+
+(* ------------------------------------------------------------------ *)
+(* LDR *)
+
+module Ldr = Protocols.Ldr
+
+let test_ldr_feasibility () =
+  let l sn fd = { Ldr.sn; fd } in
+  Alcotest.(check bool) "fresher sn feasible" true
+    (Ldr.feasible ~own:(Some (l 1 3)) ~adv:(l 2 9));
+  Alcotest.(check bool) "same sn smaller fd feasible" true
+    (Ldr.feasible ~own:(Some (l 1 3)) ~adv:(l 1 2));
+  Alcotest.(check bool) "same sn equal fd infeasible" false
+    (Ldr.feasible ~own:(Some (l 1 3)) ~adv:(l 1 3));
+  Alcotest.(check bool) "older sn infeasible" false
+    (Ldr.feasible ~own:(Some (l 2 3)) ~adv:(l 1 0));
+  Alcotest.(check bool) "unassigned accepts anything" true
+    (Ldr.feasible ~own:None ~adv:(l 0 100))
+
+let test_ldr_destination_reset_only_on_flag () =
+  let h = harness ~id:5 () in
+  let t, agent = Ldr.create_full h.ctx in
+  let rreq reset id =
+    agent.RI.receive ~src:3
+      (Frame.make ~src:3 ~dst:Frame.Broadcast ~size:48
+         ~payload:
+           (Ldr.Rreq
+              {
+                rq_src = 0;
+                rq_id = id;
+                rq_dst = 5;
+                rq_label = None;
+                rq_reset = reset;
+                rq_hops = 1;
+                rq_ttl = 5;
+              }))
+  in
+  rreq false 1;
+  Alcotest.(check int) "no reset" 0 (Ldr.own_seqno t);
+  rreq true 2;
+  Alcotest.(check int) "reset on demand" 1 (Ldr.own_seqno t)
+
+let test_ldr_adoption_updates_fd () =
+  let h = harness () in
+  let t, agent = Ldr.create_full h.ctx in
+  agent.RI.receive ~src:2
+    (Frame.make ~src:2 ~dst:(Frame.Unicast 0) ~size:44
+       ~payload:
+         (Ldr.Rrep
+            {
+              rp_src = 0;
+              rp_id = 1;
+              rp_dst = 5;
+              rp_label = { Ldr.sn = 1; fd = 2 };
+              rp_dist = 2;
+              rp_lifetime = 10.0;
+            }));
+  (match Ldr.label_for t ~dst:5 with
+  | Some l ->
+      Alcotest.(check int) "sn adopted" 1 l.Ldr.sn;
+      Alcotest.(check int) "fd = dist + 1" 3 l.Ldr.fd
+  | None -> Alcotest.fail "no label");
+  Alcotest.(check (option int)) "next hop" (Some 2) (Ldr.next_hop t ~dst:5);
+  (* an infeasible advertisement at the same sn does not regress fd *)
+  agent.RI.receive ~src:7
+    (Frame.make ~src:7 ~dst:(Frame.Unicast 0) ~size:44
+       ~payload:
+         (Ldr.Rrep
+            {
+              rp_src = 0;
+              rp_id = 2;
+              rp_dst = 5;
+              rp_label = { Ldr.sn = 1; fd = 9 };
+              rp_dist = 9;
+              rp_lifetime = 10.0;
+            }));
+  Alcotest.(check (option int)) "kept better next hop" (Some 2)
+    (Ldr.next_hop t ~dst:5)
+
+(* ------------------------------------------------------------------ *)
+(* DSR *)
+
+module Dsr = Protocols.Dsr
+
+let dsr_rrep frames =
+  List.filter_map
+    (fun f -> match f.Frame.payload with Dsr.Rrep r -> Some r | _ -> None)
+    frames
+
+let test_dsr_destination_reply_path () =
+  let h = harness ~id:5 () in
+  let _, agent = Dsr.create_full h.ctx in
+  agent.RI.receive ~src:3
+    (Frame.make ~src:3 ~dst:Frame.Broadcast ~size:36
+       ~payload:
+         (Dsr.Rreq
+            { rq_src = 0; rq_id = 1; rq_dst = 5; rq_record = [ 0; 3 ]; rq_ttl = 5 }));
+  run h;
+  match dsr_rrep (take_sent h) with
+  | [ rrep ] ->
+      Alcotest.(check (list int)) "complete source route" [ 0; 3; 5 ]
+        rrep.Dsr.rp_path;
+      Alcotest.(check (list int)) "reverse hops" [ 3; 0 ] rrep.Dsr.rp_back
+  | l -> Alcotest.failf "expected RREP, got %d" (List.length l)
+
+let test_dsr_cache_and_send () =
+  let h = harness () in
+  let t, agent = Dsr.create_full h.ctx in
+  (* learn a route via an incoming RREP *)
+  agent.RI.receive ~src:3
+    (Frame.make ~src:3 ~dst:(Frame.Unicast 0) ~size:40
+       ~payload:(Dsr.Rrep { rp_path = [ 0; 3; 5 ]; rp_back = [ 0 ] }));
+  Alcotest.(check (option (list int))) "cached" (Some [ 0; 3; 5 ])
+    (Dsr.cached_path t ~dst:5);
+  agent.RI.originate (mk_data ()) ~size:512;
+  run h;
+  let datas = List.filter Frame.is_data (take_sent h) in
+  (match datas with
+  | [ f ] -> (
+      Alcotest.(check bool) "first hop 3" true (f.Frame.dst = Frame.Unicast 3);
+      match f.Frame.payload with
+      | Dsr.Dsr_data dd ->
+          Alcotest.(check (list int)) "carries route" [ 0; 3; 5 ]
+            dd.Dsr.dd_route
+      | _ -> Alcotest.fail "not source-routed")
+  | l -> Alcotest.failf "expected 1 data, got %d" (List.length l));
+  (* a broken link purges every cached path that uses it *)
+  let frame =
+    Frame.make ~src:0 ~dst:(Frame.Unicast 3) ~size:560
+      ~payload:
+        (Dsr.Dsr_data
+           { dd_data = mk_data (); dd_route = [ 0; 3; 5 ]; dd_idx = 0;
+             dd_salvaged = 0 })
+  in
+  agent.RI.unicast_failed ~frame ~dst:3;
+  Alcotest.(check (option (list int))) "cache purged" None
+    (Dsr.cached_path t ~dst:5)
+
+let test_dsr_forwarding () =
+  let h = harness ~id:3 () in
+  let _, agent = Dsr.create_full h.ctx in
+  agent.RI.receive ~src:0
+    (Frame.make ~src:0 ~dst:(Frame.Unicast 3) ~size:560
+       ~payload:
+         (Dsr.Dsr_data
+            { dd_data = mk_data (); dd_route = [ 0; 3; 5 ]; dd_idx = 1;
+              dd_salvaged = 0 }));
+  run h;
+  match List.filter Frame.is_data (take_sent h) with
+  | [ f ] ->
+      Alcotest.(check bool) "forwarded to 5" true (f.Frame.dst = Frame.Unicast 5)
+  | l -> Alcotest.failf "expected forward, got %d" (List.length l)
+
+(* ------------------------------------------------------------------ *)
+(* OLSR *)
+
+module Olsr = Protocols.Olsr
+
+let hello ~origin links =
+  Frame.make ~src:origin ~dst:Frame.Broadcast ~size:20
+    ~payload:(Olsr.Hello { h_origin = origin; h_links = links })
+
+let test_olsr_symmetry_and_mpr () =
+  let h = harness () in
+  let t, agent = Olsr.create_full h.ctx in
+  (* neighbour 1 hears us -> symmetric; it reaches 10 and 11 *)
+  agent.RI.receive ~src:1
+    (hello ~origin:1 [ (0, true, false); (10, true, false); (11, true, false) ]);
+  (* neighbour 2 does not list us -> asymmetric *)
+  agent.RI.receive ~src:2 (hello ~origin:2 [ (10, true, false) ]);
+  Alcotest.(check (list int)) "only node 1 symmetric" [ 1 ]
+    (List.sort compare (Olsr.sym_neighbors t));
+  (* routes: 2-hop nodes via node 1 *)
+  Alcotest.(check (option int)) "route to 10 via 1" (Some 1)
+    (Olsr.next_hop t ~dst:10);
+  Alcotest.(check (option int)) "no route to stranger" None
+    (Olsr.next_hop t ~dst:12)
+
+let test_olsr_topology_routing () =
+  let h = harness () in
+  let t, agent = Olsr.create_full h.ctx in
+  agent.RI.receive ~src:1
+    (hello ~origin:1 [ (0, true, false); (4, true, false) ]);
+  (* a TC from node 4 (flooded via 1) says 4 reaches 9 *)
+  agent.RI.receive ~src:1
+    (Frame.make ~src:1 ~dst:Frame.Broadcast ~size:24
+       ~payload:(Olsr.Tc { t_origin = 4; t_ansn = 1; t_advertised = [ 9 ] }));
+  Alcotest.(check (option int)) "multi-hop route to 9 via 1" (Some 1)
+    (Olsr.next_hop t ~dst:9)
+
+let test_olsr_tc_relay_gated_by_mpr () =
+  let h = harness () in
+  let _, agent = Olsr.create_full h.ctx in
+  (* node 1 selected us as MPR *)
+  agent.RI.receive ~src:1 (hello ~origin:1 [ (0, true, true) ]);
+  ignore (take_sent h);
+  agent.RI.receive ~src:1
+    (Frame.make ~src:1 ~dst:Frame.Broadcast ~size:24
+       ~payload:(Olsr.Tc { t_origin = 7; t_ansn = 3; t_advertised = [ 1 ] }));
+  run h;
+  let relayed =
+    List.filter
+      (fun f ->
+        match f.Frame.payload with
+        | Olsr.Tc tc -> tc.Olsr.t_origin = 7
+        | _ -> false)
+      (take_sent h)
+  in
+  Alcotest.(check int) "TC relayed (we are its MPR)" 1 (List.length relayed);
+  (* same TC again: duplicate suppressed *)
+  agent.RI.receive ~src:1
+    (Frame.make ~src:1 ~dst:Frame.Broadcast ~size:24
+       ~payload:(Olsr.Tc { t_origin = 7; t_ansn = 3; t_advertised = [ 1 ] }));
+  run h;
+  let again =
+    List.filter
+      (fun f ->
+        match f.Frame.payload with
+        | Olsr.Tc tc -> tc.Olsr.t_origin = 7
+        | _ -> false)
+      (take_sent h)
+  in
+  Alcotest.(check int) "duplicate not relayed" 0 (List.length again)
+
+(* ------------------------------------------------------------------ *)
+(* Extra protocol edge cases *)
+
+let test_srp_dbit_probe_relays_forward () =
+  let h = harness ~id:7 () in
+  let _, agent = Srp.create_full h.ctx in
+  adopt_route h agent ~dst:5 ~via:3 ~order:(O.destination ~sn:1) ~dist:0;
+  ignore (take_sent h);
+  (* a D-bit probe must travel the unicast forward path to the destination
+     even though we could answer by SDC *)
+  let rreq =
+    {
+      Srp.rq_src = 1;
+      rq_id = 31;
+      rq_dst = 5;
+      rq_order = ord 1 9 10;
+      rq_u = false;
+      rq_rr = true;
+      rq_d = true;
+      rq_n = true;
+      rq_hops = 3;
+      rq_ttl = 8;
+      rq_adv = None;
+    }
+  in
+  agent.RI.receive ~src:2
+    (Frame.make ~src:2 ~dst:(Frame.Unicast 7) ~size:52 ~payload:(Srp.Rreq rreq));
+  run_short h;
+  let sent = take_sent h in
+  Alcotest.(check int) "no SDC reply to a probe" 0
+    (List.length (find_rrep sent));
+  match find_rreq sent with
+  | [ (frame, relayed) ] ->
+      Alcotest.(check bool) "unicast toward successor" true
+        (frame.Frame.dst = Frame.Unicast 3);
+      Alcotest.(check bool) "still a probe" true relayed.Srp.rq_d
+  | l -> Alcotest.failf "expected probe relay, got %d" (List.length l)
+
+let test_srp_relay_no_route_sends_rerr () =
+  let h = harness ~id:7 () in
+  let _, agent = Srp.create_full h.ctx in
+  agent.RI.receive ~src:2
+    (Frame.make ~src:2 ~dst:(Frame.Unicast 7) ~size:532
+       ~payload:(Frame.Data (mk_data ~origin:1 ~dst:5 ())));
+  let rerrs =
+    List.filter
+      (fun f -> match f.Frame.payload with Srp.Rerr _ -> true | _ -> false)
+      (take_sent h)
+  in
+  (match rerrs with
+  | [ f ] ->
+      Alcotest.(check bool) "RERR unicast to the last hop" true
+        (f.Frame.dst = Frame.Unicast 2)
+  | l -> Alcotest.failf "expected 1 RERR, got %d" (List.length l));
+  Alcotest.(check int) "data dropped" 1 (List.length !(h.dropped))
+
+let test_aodv_expanding_ring () =
+  let h = harness () in
+  let _, agent = Aodv.create_full h.ctx in
+  agent.RI.originate (mk_data ()) ~size:512;
+  (* ttl-1 attempt times out after 2 * 1 * 0.04 s; the retry uses ttl 3 *)
+  Des.Engine.run h.engine ~until:0.2;
+  match aodv_rreq (take_sent h) with
+  | [ first; second ] ->
+      Alcotest.(check int) "first ring" 1 first.Aodv.rq_ttl;
+      Alcotest.(check int) "second ring" 3 second.Aodv.rq_ttl
+  | l -> Alcotest.failf "expected 2 RREQs, got %d" (List.length l)
+
+let test_dsr_ignores_looping_rreq () =
+  let h = harness ~id:3 () in
+  let _, agent = Dsr.create_full h.ctx in
+  agent.RI.receive ~src:2
+    (Frame.make ~src:2 ~dst:Frame.Broadcast ~size:40
+       ~payload:
+         (Dsr.Rreq
+            {
+              rq_src = 0;
+              rq_id = 4;
+              rq_dst = 9;
+              (* we already appear in the record: must not process again *)
+              rq_record = [ 0; 3; 2 ];
+              rq_ttl = 6;
+            }));
+  run h;
+  Alcotest.(check int) "nothing sent" 0 (List.length (take_sent h))
+
+let test_olsr_neighbor_expiry () =
+  let h = harness () in
+  let t, agent = Olsr.create_full h.ctx in
+  agent.RI.receive ~src:1
+    (hello ~origin:1 [ (0, true, false); (10, true, false) ]);
+  Alcotest.(check (option int)) "route up" (Some 1) (Olsr.next_hop t ~dst:10);
+  (* no more HELLOs: after the hold time the neighbour (and routes through
+     it) disappear *)
+  Des.Engine.run h.engine ~until:7.0;
+  ignore (take_sent h);
+  Alcotest.(check (list int)) "neighbour expired" []
+    (Olsr.sym_neighbors t);
+  (* force a recompute via a fresh (asymmetric) hello from someone else *)
+  agent.RI.receive ~src:2 (hello ~origin:2 [ (9, true, false) ]);
+  Alcotest.(check (option int)) "route gone" None (Olsr.next_hop t ~dst:10)
+
+let test_ldr_request_strengthening () =
+  let h = harness ~id:7 () in
+  let _, agent = Ldr.create_full h.ctx in
+  (* give node 7 a label for dst 5 via an adopted route, then expire it *)
+  agent.RI.receive ~src:3
+    (Frame.make ~src:3 ~dst:(Frame.Unicast 7) ~size:44
+       ~payload:
+         (Ldr.Rrep
+            {
+              rp_src = 7;
+              rp_id = 1;
+              rp_dst = 5;
+              rp_label = { Ldr.sn = 2; fd = 1 };
+              rp_dist = 1;
+              rp_lifetime = 5.0;
+            }));
+  Des.Engine.run h.engine ~until:6.0;
+  ignore (take_sent h);
+  (* relay a request with an older label: ours must replace it *)
+  agent.RI.receive ~src:2
+    (Frame.make ~src:2 ~dst:Frame.Broadcast ~size:48
+       ~payload:
+         (Ldr.Rreq
+            {
+              rq_src = 1;
+              rq_id = 9;
+              rq_dst = 5;
+              rq_label = Some { Ldr.sn = 1; fd = 3 };
+              rq_reset = false;
+              rq_hops = 1;
+              rq_ttl = 4;
+            }));
+  run_short h;
+  let relayed =
+    List.filter_map
+      (fun f -> match f.Frame.payload with Ldr.Rreq r -> Some r | _ -> None)
+      (take_sent h)
+  in
+  match relayed with
+  | [ r ] ->
+      Alcotest.(check bool) "label strengthened to the fresher one" true
+        (r.Ldr.rq_label = Some { Ldr.sn = 2; fd = 2 })
+  | l -> Alcotest.failf "expected relay, got %d" (List.length l)
+
+(* ------------------------------------------------------------------ *)
+(* Shared infrastructure *)
+
+let test_seen_cache () =
+  let e = Des.Engine.create () in
+  let c = Protocols.Seen_cache.create e ~ttl:5.0 in
+  Alcotest.(check bool) "first" true (Protocols.Seen_cache.witness c ~origin:1 ~id:1);
+  Alcotest.(check bool) "duplicate" false
+    (Protocols.Seen_cache.witness c ~origin:1 ~id:1);
+  Alcotest.(check bool) "other id" true
+    (Protocols.Seen_cache.witness c ~origin:1 ~id:2);
+  ignore
+    (Des.Engine.schedule e ~delay:6.0 (fun () ->
+         Alcotest.(check bool) "expired entries forgotten" true
+           (Protocols.Seen_cache.witness c ~origin:1 ~id:1)));
+  Des.Engine.run_all e
+
+let test_pending_buffer () =
+  let drops = ref 0 in
+  let p =
+    Protocols.Pending.create ~capacity:2 ~drop:(fun _ ~size:_ ~reason:_ ->
+        incr drops)
+  in
+  Protocols.Pending.push p ~dst:5 (mk_data ~seq:1 ()) ~size:512;
+  Protocols.Pending.push p ~dst:5 (mk_data ~seq:2 ()) ~size:512;
+  Protocols.Pending.push p ~dst:5 (mk_data ~seq:3 ()) ~size:512;
+  Alcotest.(check int) "oldest dropped at capacity" 1 !drops;
+  Alcotest.(check int) "two held" 2 (Protocols.Pending.count p ~dst:5);
+  let flushed = Protocols.Pending.take_all p ~dst:5 in
+  Alcotest.(check (list int)) "arrival order" [ 2; 3 ]
+    (List.map (fun (d, _) -> d.Frame.seq) flushed);
+  Alcotest.(check int) "empty after take" 0 (Protocols.Pending.count p ~dst:5)
+
+let test_discovery_backoff () =
+  let e = Des.Engine.create () in
+  let sends = ref [] in
+  let failures = ref 0 in
+  let d =
+    Protocols.Discovery.create e ~ttls:[ 1; 3 ] ~node_traversal:0.04
+      ~send:(fun ~dst:_ ~ttl ~attempt -> sends := (ttl, attempt) :: !sends)
+      ~give_up:(fun ~dst:_ -> incr failures)
+  in
+  Protocols.Discovery.start d ~dst:5;
+  Alcotest.(check bool) "active" true (Protocols.Discovery.active d ~dst:5);
+  (* a second start while active is a no-op *)
+  Protocols.Discovery.start d ~dst:5;
+  (* ttl 1 times out at 0.08 s; ttl 3 retry times out at 0.08 + 0.48 s *)
+  Des.Engine.run e ~until:1.0;
+  Alcotest.(check (list (pair int int))) "ring schedule" [ (1, 0); (3, 1) ]
+    (List.rev !sends);
+  Alcotest.(check int) "gave up once" 1 !failures;
+  (* hold-off: an immediate restart after failure is suppressed *)
+  sends := [];
+  Protocols.Discovery.start d ~dst:5;
+  Des.Engine.run e ~until:1.1;
+  Alcotest.(check (list (pair int int))) "suppressed during holdoff" []
+    (List.rev !sends);
+  (* the first-failure holdoff is one second; afterwards it runs again *)
+  Des.Engine.run e ~until:2.0;
+  Protocols.Discovery.start d ~dst:5;
+  Des.Engine.run e ~until:2.1;
+  Alcotest.(check bool) "restarted after holdoff" true (!sends <> [])
+
+let () =
+  Alcotest.run "protocols"
+    [
+      ( "srp",
+        [
+          Alcotest.test_case "originate unassigned (Proc. 1)" `Quick
+            test_srp_originate_unassigned;
+          Alcotest.test_case "destination reply + T bit" `Quick
+            test_srp_destination_reply;
+          Alcotest.test_case "route adoption (Proc. 3)" `Quick
+            test_srp_adopts_route_and_flushes;
+          Alcotest.test_case "ordering lie heuristic" `Quick test_srp_lie_heuristic;
+          Alcotest.test_case "relay strengthening (Eq. 10)" `Quick
+            test_srp_relay_strengthens;
+          Alcotest.test_case "SDC intermediate reply" `Quick
+            test_srp_sdc_intermediate_reply;
+          Alcotest.test_case "Eq. 11 overflow sets T" `Quick
+            test_srp_relay_rr_on_overflow;
+          Alcotest.test_case "successor elimination" `Quick
+            test_srp_successor_elimination;
+          Alcotest.test_case "RERR removes successor" `Quick
+            test_srp_rerr_removes_successor;
+          Alcotest.test_case "link failure recovery" `Quick
+            test_srp_link_failure_recovery;
+          QCheck_alcotest.to_alcotest prop_srp_fuzz;
+        ] );
+      ( "aodv",
+        [
+          Alcotest.test_case "origination increments seqno" `Quick
+            test_aodv_origination_increments_seqno;
+          Alcotest.test_case "destination reply" `Quick test_aodv_destination_reply;
+          Alcotest.test_case "RREP builds forward route" `Quick
+            test_aodv_rrep_builds_forward_route;
+          Alcotest.test_case "stale RREP ignored" `Quick test_aodv_stale_rrep_ignored;
+          Alcotest.test_case "RERR invalidates" `Quick test_aodv_rerr;
+        ] );
+      ( "ldr",
+        [
+          Alcotest.test_case "feasibility rule" `Quick test_ldr_feasibility;
+          Alcotest.test_case "destination reset gating" `Quick
+            test_ldr_destination_reset_only_on_flag;
+          Alcotest.test_case "FD update on adoption" `Quick
+            test_ldr_adoption_updates_fd;
+        ] );
+      ( "dsr",
+        [
+          Alcotest.test_case "destination reply path" `Quick
+            test_dsr_destination_reply_path;
+          Alcotest.test_case "cache and source-routed send" `Quick
+            test_dsr_cache_and_send;
+          Alcotest.test_case "forwarding" `Quick test_dsr_forwarding;
+        ] );
+      ( "olsr",
+        [
+          Alcotest.test_case "symmetry and neighbours" `Quick
+            test_olsr_symmetry_and_mpr;
+          Alcotest.test_case "topology routing" `Quick test_olsr_topology_routing;
+          Alcotest.test_case "MPR-gated TC relay" `Quick
+            test_olsr_tc_relay_gated_by_mpr;
+        ] );
+      ( "edge-cases",
+        [
+          Alcotest.test_case "SRP D-bit probe relays forward" `Quick
+            test_srp_dbit_probe_relays_forward;
+          Alcotest.test_case "SRP relay without route sends RERR" `Quick
+            test_srp_relay_no_route_sends_rerr;
+          Alcotest.test_case "AODV expanding ring" `Quick test_aodv_expanding_ring;
+          Alcotest.test_case "DSR ignores looping RREQ" `Quick
+            test_dsr_ignores_looping_rreq;
+          Alcotest.test_case "OLSR neighbour expiry" `Quick
+            test_olsr_neighbor_expiry;
+          Alcotest.test_case "LDR request strengthening" `Quick
+            test_ldr_request_strengthening;
+        ] );
+      ( "infrastructure",
+        [
+          Alcotest.test_case "seen cache" `Quick test_seen_cache;
+          Alcotest.test_case "pending buffer" `Quick test_pending_buffer;
+          Alcotest.test_case "discovery ring + backoff" `Quick
+            test_discovery_backoff;
+        ] );
+    ]

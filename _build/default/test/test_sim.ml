@@ -1,0 +1,292 @@
+(* Integration tests: traffic generation, metrics accounting, end-to-end
+   simulations for every protocol, determinism, the campaign/report layer,
+   and the headline property — SRP's loop-freedom under mobility. *)
+
+module C = Sim.Config
+
+let quick_config protocol =
+  {
+    C.small with
+    protocol;
+    nodes = 30;
+    terrain = Wireless.Terrain.make ~width:900.0 ~height:300.0;
+    duration = 40.0;
+    flows = 4;
+    pause = 900.0;
+    seed = 3;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Traffic *)
+
+let test_cbr_generation () =
+  let rng = Des.Rng.create 4L in
+  let flows =
+    Traffic.Cbr.generate ~rng ~nodes:20 ~concurrent:5 ~from_time:10.0
+      ~until:100.0 ~mean_duration:30.0
+  in
+  Alcotest.(check bool) "at least one flow per slot" true
+    (List.length flows >= 5);
+  List.iter
+    (fun f ->
+      Alcotest.(check bool) "src <> dst" true Traffic.Cbr.(f.src <> f.dst);
+      Alcotest.(check bool) "window" true
+        Traffic.Cbr.(f.start >= 10.0 && f.stop <= 100.0))
+    flows;
+  (* each slot covers the window back-to-back *)
+  let slot0 =
+    List.filter (fun f -> f.Traffic.Cbr.id mod 5 = 0) flows
+  in
+  ignore slot0;
+  let total = Traffic.Cbr.packet_count ~flows ~rate:4.0 in
+  Alcotest.(check bool) "plausible packet count" true
+    (total > 5 * 80 && total <= 5 * 4 * 91)
+
+let test_cbr_schedule_counts () =
+  let engine = Des.Engine.create () in
+  let rng = Des.Rng.create 4L in
+  let flows =
+    Traffic.Cbr.generate ~rng ~nodes:20 ~concurrent:3 ~from_time:0.0
+      ~until:30.0 ~mean_duration:10.0
+  in
+  let sent = ref 0 in
+  Traffic.Cbr.schedule engine ~flows ~rate:4.0 ~size:512
+    ~send:(fun ~src:_ data ~size ->
+      Alcotest.(check int) "size" 512 size;
+      Alcotest.(check bool) "stamped" true (data.Wireless.Frame.sent_at >= 0.0);
+      incr sent);
+  Des.Engine.run_all engine;
+  Alcotest.(check bool) "packets emitted" true (!sent > 0);
+  Alcotest.(check bool) "bounded by count" true
+    (!sent <= Traffic.Cbr.packet_count ~flows ~rate:4.0)
+
+let test_cbr_deterministic () =
+  let gen () =
+    Traffic.Cbr.generate
+      ~rng:(Des.Rng.create 8L)
+      ~nodes:10 ~concurrent:4 ~from_time:0.0 ~until:50.0 ~mean_duration:20.0
+  in
+  Alcotest.(check bool) "same seed, same script" true (gen () = gen ())
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+
+let test_metrics_accounting () =
+  let m = Sim.Metrics.create () in
+  let data seq =
+    { Wireless.Frame.origin = 0; final_dst = 1; flow = 0; seq; sent_at = 1.0;
+      hops = 0 }
+  in
+  Sim.Metrics.on_sent m (data 1);
+  Sim.Metrics.on_sent m (data 2);
+  Sim.Metrics.on_delivered m ~now:1.5 (data 1);
+  (* duplicate delivery of the same packet must not double count *)
+  Sim.Metrics.on_delivered m ~now:1.6 (data 1);
+  Sim.Metrics.on_dropped m (data 2) ~reason:"test";
+  let gauges =
+    [ { Protocols.Routing_intf.own_seqno = 4; max_denominator = 7; seqno_resets = 1 };
+      { Protocols.Routing_intf.own_seqno = 0; max_denominator = 3; seqno_resets = 0 } ]
+  in
+  let r =
+    Sim.Metrics.finalize m ~control_tx:10 ~data_tx:5 ~drop_queue_full:1
+      ~drop_retry:2 ~mac_drops:3 ~collisions:4 ~nodes:2 ~gauges
+  in
+  Alcotest.(check int) "sent" 2 r.Sim.Metrics.sent;
+  Alcotest.(check int) "delivered once" 1 r.Sim.Metrics.delivered;
+  Alcotest.(check (float 1e-9)) "ratio" 0.5 r.Sim.Metrics.delivery_ratio;
+  Alcotest.(check (float 1e-9)) "load" 10.0 r.Sim.Metrics.network_load;
+  Alcotest.(check (float 1e-9)) "latency" 0.5 r.Sim.Metrics.latency;
+  Alcotest.(check (float 1e-9)) "drops per node" 1.5 r.Sim.Metrics.mac_drops_per_node;
+  Alcotest.(check (float 1e-9)) "avg seqno" 2.0 r.Sim.Metrics.avg_seqno;
+  Alcotest.(check int) "max denom" 7 r.Sim.Metrics.max_denominator;
+  Alcotest.(check int) "resets" 1 r.Sim.Metrics.seqno_resets;
+  Alcotest.(check (list (pair string int))) "drop reasons" [ ("test", 1) ]
+    r.Sim.Metrics.drop_reasons
+
+(* ------------------------------------------------------------------ *)
+(* End-to-end runs *)
+
+let test_protocol_delivers protocol () =
+  let r = Sim.Runner.run (quick_config protocol) in
+  Alcotest.(check bool)
+    (Printf.sprintf "%s delivers >= 0.85 (got %.3f)"
+       (C.protocol_name protocol) r.Sim.Metrics.delivery_ratio)
+    true
+    (r.Sim.Metrics.delivery_ratio >= 0.85);
+  Alcotest.(check bool) "some control traffic" true (r.Sim.Metrics.control_tx > 0)
+
+let test_run_deterministic () =
+  let a = Sim.Runner.run (quick_config C.Srp) in
+  let b = Sim.Runner.run (quick_config C.Srp) in
+  Alcotest.(check int) "same delivered" a.Sim.Metrics.delivered
+    b.Sim.Metrics.delivered;
+  Alcotest.(check int) "same control" a.Sim.Metrics.control_tx
+    b.Sim.Metrics.control_tx;
+  Alcotest.(check (float 1e-12)) "same latency" a.Sim.Metrics.latency
+    b.Sim.Metrics.latency
+
+let test_seed_changes_outcome () =
+  let a = Sim.Runner.run (quick_config C.Srp) in
+  let b = Sim.Runner.run { (quick_config C.Srp) with C.seed = 4 } in
+  Alcotest.(check bool) "different seeds differ somewhere" true
+    (a.Sim.Metrics.delivered <> b.Sim.Metrics.delivered
+    || a.Sim.Metrics.control_tx <> b.Sim.Metrics.control_tx)
+
+let test_srp_zero_seqno_static () =
+  let r = Sim.Runner.run (quick_config C.Srp) in
+  Alcotest.(check (float 0.0)) "SRP seqno identically zero" 0.0
+    r.Sim.Metrics.avg_seqno;
+  Alcotest.(check bool) "denominator far below the bound" true
+    (r.Sim.Metrics.max_denominator < 1_000_000)
+
+let test_srp_farey_splits_variant () =
+  let mobile =
+    { (quick_config C.Srp) with C.pause = 0.0; duration = 40.0; flows = 5 }
+  in
+  let mediant = Sim.Runner.run mobile in
+  let farey =
+    Sim.Runner.run
+      { mobile with C.srp = { Protocols.Srp.default_config with farey_splits = true } }
+  in
+  Alcotest.(check bool) "farey variant still delivers" true
+    (farey.Sim.Metrics.delivery_ratio >= 0.7);
+  Alcotest.(check bool)
+    (Printf.sprintf "farey labels no wider (%d vs %d)"
+       farey.Sim.Metrics.max_denominator mediant.Sim.Metrics.max_denominator)
+    true
+    (farey.Sim.Metrics.max_denominator <= mediant.Sim.Metrics.max_denominator)
+
+let test_srp_farey_loop_free () =
+  let config =
+    {
+      (quick_config C.Srp) with
+      C.pause = 0.0;
+      duration = 30.0;
+      flows = 5;
+      srp = { Protocols.Srp.default_config with farey_splits = true };
+    }
+  in
+  match Sim.Loopcheck.run config ~interval:0.5 with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e
+
+let test_srp_loop_free_static () =
+  match Sim.Loopcheck.run (quick_config C.Srp) ~interval:1.0 with
+  | Ok (_, sweeps, edges) ->
+      Alcotest.(check bool) "swept" true (sweeps >= 30);
+      Alcotest.(check bool) "edges inspected" true (edges > 0)
+  | Error e -> Alcotest.fail e
+
+let test_srp_loop_free_mobile () =
+  let config =
+    { (quick_config C.Srp) with C.pause = 0.0; duration = 60.0; flows = 5 }
+  in
+  match Sim.Loopcheck.run config ~interval:0.5 with
+  | Ok (_, sweeps, _) -> Alcotest.(check bool) "swept" true (sweeps >= 100)
+  | Error e -> Alcotest.fail e
+
+let test_srp_loop_free_mobile_seeds () =
+  List.iter
+    (fun seed ->
+      let config =
+        {
+          (quick_config C.Srp) with
+          C.pause = 0.0;
+          duration = 30.0;
+          flows = 6;
+          seed;
+        }
+      in
+      match Sim.Loopcheck.run config ~interval:0.5 with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "seed %d: %s" seed e)
+    [ 11; 12; 13 ]
+
+(* ------------------------------------------------------------------ *)
+(* Campaign + report *)
+
+let test_campaign_and_report () =
+  let base =
+    {
+      (quick_config C.Srp) with
+      C.duration = 20.0;
+      nodes = 25;
+      flows = 3;
+    }
+  in
+  let campaign =
+    Sim.Experiment.run ~pause_scale:1.0 ~base
+      ~protocols:[ C.Srp; C.Aodv ]
+      ~pauses:[ 0.0; 900.0 ] ~trials:2
+      ~progress:(fun _ -> ())
+  in
+  let cell = Sim.Experiment.cell campaign C.Srp 0.0 in
+  Alcotest.(check int) "two trials per cell" 2
+    (Stats.Summary.count cell.Sim.Experiment.delivery);
+  let delivery, load, latency = Sim.Experiment.overall campaign C.Srp in
+  Alcotest.(check int) "overall pools both pauses" 4
+    (Stats.Summary.count delivery);
+  Alcotest.(check bool) "load non-negative" true (Stats.Summary.mean load >= 0.0);
+  Alcotest.(check bool) "latency non-negative" true
+    (Stats.Summary.mean latency >= 0.0);
+  (* the report renders every artifact without raising *)
+  let rendered = Format.asprintf "%a" Sim.Report.all campaign in
+  let contains needle =
+    let nl = String.length needle and hl = String.length rendered in
+    let rec scan i = i + nl <= hl && (String.sub rendered i nl = needle || scan (i + 1)) in
+    scan 0
+  in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) (needle ^ " present") true (contains needle))
+    [ "Table I"; "Fig. 3"; "Fig. 4"; "Fig. 5"; "Fig. 6"; "Fig. 7"; "SRP"; "AODV" ]
+
+let test_config_presets () =
+  Alcotest.(check int) "paper nodes" 100 C.paper.C.nodes;
+  Alcotest.(check int) "paper flows" 30 C.paper.C.flows;
+  Alcotest.(check (float 0.0)) "paper duration" 900.0 C.paper.C.duration;
+  Alcotest.(check int) "reproduction scales flows" 12 C.reproduction.C.flows;
+  Alcotest.(check int) "eight pause times" 8 (List.length C.paper_pause_times);
+  Alcotest.(check (list string)) "all protocols named"
+    [ "SRP"; "LDR"; "AODV"; "DSR"; "OLSR" ]
+    (List.map C.protocol_name C.all_protocols)
+
+let () =
+  Alcotest.run "sim"
+    [
+      ( "traffic",
+        [
+          Alcotest.test_case "generation" `Quick test_cbr_generation;
+          Alcotest.test_case "schedule" `Quick test_cbr_schedule_counts;
+          Alcotest.test_case "deterministic" `Quick test_cbr_deterministic;
+        ] );
+      ( "metrics",
+        [ Alcotest.test_case "accounting" `Quick test_metrics_accounting ] );
+      ( "end-to-end",
+        [
+          Alcotest.test_case "SRP delivers" `Slow (test_protocol_delivers C.Srp);
+          Alcotest.test_case "LDR delivers" `Slow (test_protocol_delivers C.Ldr);
+          Alcotest.test_case "AODV delivers" `Slow (test_protocol_delivers C.Aodv);
+          Alcotest.test_case "DSR delivers" `Slow (test_protocol_delivers C.Dsr);
+          Alcotest.test_case "OLSR delivers" `Slow (test_protocol_delivers C.Olsr);
+          Alcotest.test_case "deterministic runs" `Slow test_run_deterministic;
+          Alcotest.test_case "seed sensitivity" `Slow test_seed_changes_outcome;
+          Alcotest.test_case "SRP zero seqno" `Slow test_srp_zero_seqno_static;
+          Alcotest.test_case "Farey-split variant (§VI)" `Slow
+            test_srp_farey_splits_variant;
+        ] );
+      ( "loop-freedom",
+        [
+          Alcotest.test_case "static network" `Slow test_srp_loop_free_static;
+          Alcotest.test_case "constant mobility" `Slow test_srp_loop_free_mobile;
+          Alcotest.test_case "mobility, extra seeds" `Slow
+            test_srp_loop_free_mobile_seeds;
+          Alcotest.test_case "Farey-split variant stays loop-free" `Slow
+            test_srp_farey_loop_free;
+        ] );
+      ( "campaign",
+        [
+          Alcotest.test_case "experiment + report" `Slow test_campaign_and_report;
+          Alcotest.test_case "config presets" `Quick test_config_presets;
+        ] );
+    ]

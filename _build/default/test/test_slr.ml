@@ -1,0 +1,750 @@
+(* Tests for the SLR core: fractions, big naturals, orderings, Algorithm 1,
+   Farey interpolation, the abstract split-label rules, and the paper's
+   worked examples on the abstract executor. *)
+
+module F = Slr.Fraction
+module O = Slr.Ordering
+
+let frac num den = F.make ~num ~den
+
+let check_frac = Alcotest.testable F.pp F.equal
+
+let check_ordering = Alcotest.testable O.pp O.equal
+
+(* ------------------------------------------------------------------ *)
+(* Fraction *)
+
+let test_fraction_make_validates () =
+  Alcotest.check_raises "zero denominator" (Invalid_argument
+    "Fraction.make: denominator must be >= 1") (fun () ->
+      ignore (F.make ~num:0 ~den:0));
+  Alcotest.check_raises "improper" (Invalid_argument
+    "Fraction.make: fraction must be <= 1/1") (fun () ->
+      ignore (F.make ~num:3 ~den:2));
+  Alcotest.check_raises "non-canonical unit" (Invalid_argument
+    "Fraction.make: only 1/1 may have num = den") (fun () ->
+      ignore (F.make ~num:4 ~den:4));
+  Alcotest.check_raises "over bound" (Invalid_argument
+    "Fraction.make: component exceeds 32-bit bound") (fun () ->
+      ignore (F.make ~num:1 ~den:(F.bound + 1)))
+
+let test_fraction_order () =
+  Alcotest.(check bool) "1/2 < 2/3" true F.(frac 1 2 < frac 2 3);
+  Alcotest.(check bool) "2/4 = 1/2" true (F.equal (frac 2 4) (frac 1 2));
+  Alcotest.(check bool) "0/1 least" true F.(F.zero < frac 1 1000000);
+  Alcotest.(check bool) "1/1 greatest" true F.(frac 999999 1000000 < F.one);
+  (* near-bound comparison exercises the 64-bit unsigned path *)
+  let big1 = frac (F.bound - 1) F.bound in
+  let big2 = frac (F.bound - 2) (F.bound - 1) in
+  Alcotest.(check bool) "near-bound order" true F.(big2 < big1)
+
+let test_fraction_mediant () =
+  Alcotest.(check (option check_frac)) "mediant 1/2 2/3"
+    (Some (frac 3 5))
+    (F.mediant (frac 1 2) (frac 2 3));
+  Alcotest.(check (option check_frac)) "next 0/1" (Some (frac 1 2))
+    (F.next F.zero);
+  Alcotest.(check (option check_frac)) "next of greatest" None (F.next F.one);
+  let big = frac 1 F.bound in
+  Alcotest.(check (option check_frac)) "mediant overflow" None
+    (F.mediant big (frac 1 2));
+  Alcotest.(check bool) "would_overflow" true (F.would_overflow big (frac 1 2))
+
+let test_fibonacci_bound () =
+  (* §III: "the least upper bound ... is found from the Fibonacci sequence
+     to be 45 times" *)
+  Alcotest.(check int) "45 worst-case splits" 45 (F.max_splits ())
+
+let frac_gen =
+  let open QCheck2.Gen in
+  let* den = int_range 2 100_000 in
+  let* num = int_range 1 (den - 1) in
+  return (F.make ~num ~den)
+
+let prop_mediant_between =
+  QCheck2.Test.make ~name:"mediant lies strictly between" ~count:500
+    QCheck2.Gen.(pair frac_gen frac_gen)
+    (fun (a, b) ->
+      let lo, hi = if F.(a < b) then (a, b) else (b, a) in
+      QCheck2.assume (not (F.equal lo hi));
+      match F.mediant lo hi with
+      | Some m -> F.(lo < m) && F.(m < hi)
+      | None -> false)
+
+let prop_compare_antisym =
+  QCheck2.Test.make ~name:"compare is antisymmetric" ~count:500
+    QCheck2.Gen.(pair frac_gen frac_gen)
+    (fun (a, b) -> compare (F.compare a b) 0 = compare 0 (F.compare b a))
+
+let prop_compare_matches_floats =
+  QCheck2.Test.make ~name:"compare agrees with float division" ~count:500
+    QCheck2.Gen.(pair frac_gen frac_gen)
+    (fun (a, b) ->
+      let fa = F.to_float a and fb = F.to_float b in
+      (* denominators <= 1e5 so doubles are exact enough *)
+      if fa < fb then F.compare a b < 0
+      else if fa > fb then F.compare a b > 0
+      else F.compare a b = 0)
+
+let prop_next_is_greater =
+  QCheck2.Test.make ~name:"next-element is strictly greater" ~count:500
+    frac_gen (fun a ->
+      match F.next a with Some n -> F.(a < n) | None -> F.is_one a)
+
+(* ------------------------------------------------------------------ *)
+(* Bignat / Bigfrac *)
+
+let test_bignat_basics () =
+  let n = Slr.Bignat.of_int 123456789 in
+  Alcotest.(check string) "to_string" "123456789" (Slr.Bignat.to_string n);
+  Alcotest.(check (option int)) "to_int roundtrip" (Some 123456789)
+    (Slr.Bignat.to_int n);
+  let a = Slr.Bignat.of_string "99999999999999999999999999" in
+  let b = Slr.Bignat.of_string "1" in
+  Alcotest.(check string) "big add" "100000000000000000000000000"
+    (Slr.Bignat.to_string (Slr.Bignat.add a b));
+  let sq = Slr.Bignat.mul a a in
+  Alcotest.(check string) "big mul"
+    "9999999999999999999999999800000000000000000000000001"
+    (Slr.Bignat.to_string sq);
+  Alcotest.(check int) "compare" 1 (Slr.Bignat.compare a b);
+  Alcotest.(check (option int)) "huge to_int" None (Slr.Bignat.to_int sq)
+
+let small_nat_gen = QCheck2.Gen.(map Slr.Bignat.of_int (int_range 0 1_000_000))
+
+let prop_bignat_add_matches_int =
+  QCheck2.Test.make ~name:"bignat add matches int" ~count:300
+    QCheck2.Gen.(pair (int_range 0 1_000_000_000) (int_range 0 1_000_000_000))
+    (fun (a, b) ->
+      Slr.Bignat.to_int
+        (Slr.Bignat.add (Slr.Bignat.of_int a) (Slr.Bignat.of_int b))
+      = Some (a + b))
+
+let prop_bignat_mul_matches_int =
+  QCheck2.Test.make ~name:"bignat mul matches int" ~count:300
+    QCheck2.Gen.(pair (int_range 0 1_000_000) (int_range 0 1_000_000))
+    (fun (a, b) ->
+      Slr.Bignat.to_int
+        (Slr.Bignat.mul (Slr.Bignat.of_int a) (Slr.Bignat.of_int b))
+      = Some (a * b))
+
+let prop_bignat_string_roundtrip =
+  QCheck2.Test.make ~name:"bignat decimal roundtrip" ~count:200 small_nat_gen
+    (fun n ->
+      Slr.Bignat.equal n (Slr.Bignat.of_string (Slr.Bignat.to_string n)))
+
+let test_bigfrac_dense () =
+  let module B = Slr.Bigfrac in
+  (* split 300 times between the last two labels: denominators blow far
+     past 64 bits, order is preserved throughout *)
+  let rec go a b k =
+    if k > 0 then begin
+      let m = B.mediant a b in
+      Alcotest.(check bool) "mediant distinct from operands" true
+        (B.compare m a <> 0 && B.compare m b <> 0);
+      go b m (k - 1)
+    end
+  in
+  go B.zero B.one 300;
+  let half = B.of_ints ~num:1 ~den:2 in
+  Alcotest.(check bool) "1/2 < 2/3" true B.(half < B.of_ints ~num:2 ~den:3)
+
+(* ------------------------------------------------------------------ *)
+(* Lexlabel: the "lexicographically sorted string" dense set *)
+
+module L = Slr.Lexlabel
+
+let key s = L.of_string s
+
+let test_lexlabel_order () =
+  Alcotest.(check bool) "least below everything" true
+    (L.compare L.least (key "\x01") < 0);
+  Alcotest.(check bool) "top above everything" true
+    (L.compare (key "\xff\xff") L.top < 0);
+  Alcotest.(check bool) "prefix is smaller" true
+    (L.compare (key "ab") (key "abc") < 0);
+  Alcotest.check_raises "trailing NUL rejected"
+    (Invalid_argument "Lexlabel.of_string: trailing NUL is non-canonical")
+    (fun () -> ignore (L.of_string "a\x00"))
+
+let test_lexlabel_next () =
+  (match L.next L.least with
+  | Some n -> Alcotest.(check bool) "next greater" true (L.compare L.least n < 0)
+  | None -> Alcotest.fail "least has a next");
+  Alcotest.(check bool) "top has no next" true (L.next L.top = None)
+
+let test_lexlabel_between_cases () =
+  let check_between lo hi =
+    match L.between ~lo ~hi with
+    | Some m ->
+        Alcotest.(check bool) "strictly inside" true
+          (L.compare lo m < 0 && L.compare m hi < 0)
+    | None -> Alcotest.fail "between must exist"
+  in
+  check_between L.least L.top;
+  check_between L.least (key "\x01");
+  check_between (key "a") (key "b");
+  check_between (key "a") (key "a\x01");
+  check_between (key "az") (key "b");
+  check_between (key "\xff") L.top;
+  check_between (key "abc") (key "abd")
+
+let lexkey_gen =
+  QCheck2.Gen.(
+    let byte = map Char.chr (int_range 0 255) in
+    let last = map Char.chr (int_range 1 255) in
+    let* body = string_size ~gen:byte (int_range 0 6) in
+    let* tail = last in
+    oneof [ return L.least; return (L.of_string (body ^ String.make 1 tail)) ])
+
+let prop_lexlabel_between =
+  QCheck2.Test.make ~name:"lexlabel between lies strictly inside" ~count:1000
+    QCheck2.Gen.(pair lexkey_gen lexkey_gen)
+    (fun (a, b) ->
+      let c = L.compare a b in
+      QCheck2.assume (c <> 0);
+      let lo, hi = if c < 0 then (a, b) else (b, a) in
+      match L.between ~lo ~hi with
+      | Some m -> L.compare lo m < 0 && L.compare m hi < 0
+      | None -> false)
+
+let prop_lexlabel_between_top =
+  QCheck2.Test.make ~name:"lexlabel between anything and top" ~count:500
+    lexkey_gen
+    (fun a ->
+      QCheck2.assume (L.compare a L.top < 0);
+      match L.between ~lo:a ~hi:L.top with
+      | Some m -> L.compare a m < 0 && L.compare m L.top < 0
+      | None -> false)
+
+(* the whole abstract protocol runs on string labels too *)
+module LexNet = Slr.Simple_net.Make (Slr.Ordinal.Lex_string)
+
+let test_lexlabel_network () =
+  let net = LexNet.create ~nodes:6 ~dest:0 in
+  List.iter (fun (a, b) -> LexNet.add_link net a b)
+    [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 5) ];
+  (match LexNet.request net ~src:5 with
+  | LexNet.Routed _ -> ()
+  | _ -> Alcotest.fail "no route");
+  (match LexNet.check_invariants net with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* repair after a mid-chain break *)
+  LexNet.break_link net 2 3;
+  LexNet.add_link net 1 3;
+  (match LexNet.request net ~src:5 with
+  | LexNet.Routed _ -> ()
+  | _ -> Alcotest.fail "no repair");
+  match LexNet.check_invariants net with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+(* ------------------------------------------------------------------ *)
+(* Ordering (Definitions 4-7) *)
+
+let ord sn num den = O.make ~sn ~frac:(frac num den)
+
+let test_ordering_criteria () =
+  (* Definition 5: higher sn, or equal sn and smaller fraction *)
+  Alcotest.(check bool) "fresher sn precedes" true
+    (O.precedes (ord 1 1 2) (ord 2 9 10));
+  Alcotest.(check bool) "smaller fraction precedes" true
+    (O.precedes (ord 1 2 3) (ord 1 1 2));
+  Alcotest.(check bool) "irreflexive" false
+    (O.precedes (ord 1 1 2) (ord 1 1 2));
+  Alcotest.(check bool) "unassigned is maximum" true
+    (O.precedes O.unassigned (ord 1 1 2));
+  Alcotest.(check bool) "destination is minimal at its sn" true
+    (O.precedes (ord 1 1 1000000) (O.destination ~sn:1))
+
+let test_ordering_min () =
+  let a = ord 1 1 2 and b = ord 1 2 3 in
+  (* b has the larger fraction, so a is "lower": min must return a *)
+  Alcotest.check check_ordering "min picks lower" a (O.min b a);
+  Alcotest.check check_ordering "min picks lower (sym)" a (O.min a b);
+  Alcotest.check check_ordering "min with unassigned" a (O.min O.unassigned a)
+
+let test_ordering_add () =
+  (* Definition 6 *)
+  let o = ord 3 1 2 in
+  match O.add o (frac 2 3) with
+  | Some o' ->
+      Alcotest.check check_ordering "mediant add" (ord 3 3 5) o';
+      (* Def. 6: if m/n < p/q then O + p/q ⊑ O *)
+      Alcotest.(check bool) "O + p/q precedes O" true (O.precedes o' o)
+  | None -> Alcotest.fail "add overflowed unexpectedly"
+
+let ordering_gen =
+  let open QCheck2.Gen in
+  let* sn = int_range 0 5 in
+  let* f = frac_gen in
+  return (O.make ~sn ~frac:f)
+
+let prop_precedes_transitive =
+  QCheck2.Test.make ~name:"OC relation is transitive" ~count:500
+    QCheck2.Gen.(triple ordering_gen ordering_gen ordering_gen)
+    (fun (a, b, c) ->
+      QCheck2.assume (O.precedes a b && O.precedes b c);
+      O.precedes a c)
+
+let prop_precedes_asymmetric =
+  QCheck2.Test.make ~name:"OC relation is asymmetric" ~count:500
+    QCheck2.Gen.(pair ordering_gen ordering_gen)
+    (fun (a, b) -> not (O.precedes a b && O.precedes b a))
+
+(* ------------------------------------------------------------------ *)
+(* Algorithm 1 (NEWORDER) *)
+
+module NO = Slr.New_order
+
+let compute ~current ~cached ~adv = NO.compute ~current ~cached ~adv
+
+let test_neworder_cases () =
+  (* Case II (line 5): both seqnos stale -> next element of the adv *)
+  let r =
+    compute ~current:O.unassigned ~cached:O.unassigned
+      ~adv:(O.destination ~sn:1)
+  in
+  Alcotest.(check bool) "case Fresher_next" true (r.NO.case = NO.Fresher_next);
+  Alcotest.check check_ordering "adv + 1/1" (ord 1 1 2) r.NO.order;
+  (* Case III (line 7): fresher adv, cached at the same sn -> split *)
+  let r =
+    compute ~current:(ord 1 9 10) ~cached:(ord 2 2 3) ~adv:(ord 2 1 2)
+  in
+  Alcotest.(check bool) "case Fresher_split" true (r.NO.case = NO.Fresher_split);
+  Alcotest.check check_ordering "split fraction" (ord 2 3 5) r.NO.order;
+  (* Case IV (line 10): current already satisfies the cached solicitation *)
+  let r = compute ~current:(ord 2 1 2) ~cached:(ord 2 2 3) ~adv:(ord 2 1 3) in
+  Alcotest.(check bool) "case Keep_current" true (r.NO.case = NO.Keep_current);
+  Alcotest.check check_ordering "keeps current" (ord 2 1 2) r.NO.order;
+  (* Case V (line 12): equal sn, out-of-order cached -> split *)
+  let r = compute ~current:(ord 2 2 3) ~cached:(ord 2 2 3) ~adv:(ord 2 1 2) in
+  Alcotest.(check bool) "case Equal_split" true (r.NO.case = NO.Equal_split);
+  Alcotest.check check_ordering "split" (ord 2 3 5) r.NO.order;
+  (* Case I (line 2): stale advertisement -> infinite *)
+  let r = compute ~current:(ord 3 1 2) ~cached:O.unassigned ~adv:(ord 2 1 3) in
+  Alcotest.(check bool) "case Infinite" true (r.NO.case = NO.Infinite);
+  Alcotest.(check bool) "infinite result" false (O.is_finite r.NO.order)
+
+let test_neworder_overflow () =
+  let nearly = frac (F.bound - 1) F.bound in
+  let r =
+    compute
+      ~current:(O.make ~sn:1 ~frac:F.one)
+      ~cached:(O.make ~sn:2 ~frac:nearly)
+      ~adv:(O.make ~sn:2 ~frac:(frac 1 F.bound))
+  in
+  Alcotest.(check bool) "overflow -> infinite" true (r.NO.case = NO.Infinite)
+
+let test_neworder_custom_split () =
+  (* Farey interpolation drops into Algorithm 1 (the §VI extension):
+     between 1/2 and 2/3 both walks give 3/5, but between 3/10 and 1/3 the
+     mediant gives 4/13 while the interval's simplest fraction... is also
+     4/13; use (1/3, 1/2) where mediant = 2/5 and Farey = 2/5 too — so use
+     a wide interval where they differ: (1/10, 9/10): mediant 10/20 = 1/2,
+     Farey 1/2 as well. Denominator differences only show on narrow skewed
+     intervals: (7/10, 5/7): mediant 12/17, Farey... check strictness and
+     denominator no larger instead. *)
+  let farey = Slr.Farey.simplest_between in
+  let current = ord 2 9 10 in
+  let cached = O.make ~sn:2 ~frac:(frac 5 7) in
+  let adv = O.make ~sn:2 ~frac:(frac 7 10) in
+  let with_mediant = compute ~current ~cached ~adv in
+  let with_farey =
+    NO.compute_with ~split:(fun ~lo ~hi -> farey ~lo ~hi) ~current ~cached ~adv
+  in
+  Alcotest.(check bool) "mediant split finite" true
+    (O.is_finite with_mediant.NO.order);
+  Alcotest.(check bool) "farey split finite" true
+    (O.is_finite with_farey.NO.order);
+  List.iter
+    (fun r ->
+      let g = r.NO.order in
+      Alcotest.(check bool) "strictly inside" true
+        F.(adv.O.frac < g.O.frac && g.O.frac < cached.O.frac))
+    [ with_mediant; with_farey ];
+  Alcotest.(check bool) "farey denominator no larger" true
+    (with_farey.NO.order.O.frac.F.den <= with_mediant.NO.order.O.frac.F.den)
+
+let test_neworder_degenerate_interval () =
+  (* cached and advertisement carrying the same fraction leaves no room:
+     Algorithm 1 must refuse rather than fabricate a non-strict label *)
+  let r = compute ~current:(ord 2 9 10) ~cached:(ord 2 1 2) ~adv:(ord 2 1 2) in
+  Alcotest.(check bool) "no strict label exists" false
+    (O.is_finite r.NO.order)
+
+let test_filter_successors () =
+  let g = ord 2 1 2 in
+  let succs =
+    [ (1, ord 2 1 3); (2, ord 2 2 3); (3, ord 3 9 10); (4, ord 1 1 10) ]
+  in
+  let kept = NO.filter_successors ~order:g succs in
+  Alcotest.(check (list int)) "keeps in-order successors" [ 1; 3 ]
+    (List.sort compare (List.map fst kept))
+
+(* Theorem 6 unconditionally: for ARBITRARY inputs — including stale and
+   reordered packets that violate Lemma 1's protocol invariants — a finite
+   result maintains Eqs. 3-5. *)
+let prop_neworder_unconditional =
+  QCheck2.Test.make ~name:"NEWORDER is safe on arbitrary inputs" ~count:3000
+    QCheck2.Gen.(triple ordering_gen ordering_gen ordering_gen)
+    (fun (current, cached, adv) ->
+      let r = compute ~current ~cached ~adv in
+      (not (O.is_finite r.NO.order))
+      || NO.maintains_order ~current ~cached ~adv r.NO.order)
+
+(* Theorem 6 as a property: under the protocol invariants (the
+   advertisement is feasible for the node and for the cached solicitation),
+   a finite result maintains Eqs. 3-5. *)
+let prop_neworder_maintains_order =
+  QCheck2.Test.make ~name:"NEWORDER maintains order (Theorem 6)" ~count:2000
+    QCheck2.Gen.(triple ordering_gen ordering_gen ordering_gen)
+    (fun (current, cached, adv) ->
+      QCheck2.assume (NO.feasible ~current ~adv);
+      QCheck2.assume (O.precedes cached adv);
+      let r = compute ~current ~cached ~adv in
+      if not (O.is_finite r.NO.order) then true
+      else
+        let g = r.NO.order in
+        (* Eq. 3: G <= current (lower or equal label) *)
+        (O.equal g current || O.precedes current g)
+        (* Eq. 4: G strictly below the cached solicitation minimum *)
+        && O.precedes cached g
+        (* Eq. 5: strictly above the advertisement *)
+        && O.precedes g adv)
+
+(* ------------------------------------------------------------------ *)
+(* Farey *)
+
+let test_farey_simplest () =
+  let simplest lo hi = Slr.Farey.simplest_between ~lo ~hi in
+  Alcotest.(check (option check_frac)) "(0,1) -> 1/2" (Some (frac 1 2))
+    (simplest F.zero F.one);
+  Alcotest.(check (option check_frac)) "(1/2,2/3) -> 3/5" (Some (frac 3 5))
+    (simplest (frac 1 2) (frac 2 3));
+  Alcotest.(check (option check_frac)) "(1/3,1/2) -> 2/5" (Some (frac 2 5))
+    (simplest (frac 1 3) (frac 1 2));
+  Alcotest.(check (option check_frac)) "(3/10,1/3) -> 4/13"
+    (Some (frac 4 13))
+    (simplest (frac 3 10) (frac 1 3))
+
+let prop_farey_inside =
+  QCheck2.Test.make ~name:"Farey result strictly inside" ~count:500
+    QCheck2.Gen.(pair frac_gen frac_gen)
+    (fun (a, b) ->
+      let lo, hi = if F.(a < b) then (a, b) else (b, a) in
+      QCheck2.assume (not (F.equal lo hi));
+      match Slr.Farey.simplest_between ~lo ~hi with
+      | Some s -> F.(lo < s) && F.(s < hi)
+      | None -> false)
+
+let prop_farey_minimal =
+  QCheck2.Test.make ~name:"Farey denominator is minimal" ~count:200
+    QCheck2.Gen.(
+      let* den = int_range 2 60 in
+      let* num = int_range 1 (den - 1) in
+      let* den2 = int_range 2 60 in
+      let* num2 = int_range 1 (den2 - 1) in
+      return (F.make ~num ~den, F.make ~num:num2 ~den:den2))
+    (fun (a, b) ->
+      let lo, hi = if F.(a < b) then (a, b) else (b, a) in
+      QCheck2.assume (not (F.equal lo hi));
+      match Slr.Farey.simplest_between ~lo ~hi with
+      | None -> false
+      | Some s ->
+          (* brute force: no fraction with a smaller denominator fits *)
+          let fits q =
+            let rec try_num p = p < q && ((F.(lo < frac p q) && F.(frac p q < hi)) || try_num (p + 1)) in
+            try_num 1
+          in
+          let rec smaller q = q < s.F.den && (fits q || smaller (q + 1)) in
+          not (smaller 1))
+
+let prop_farey_never_wider_than_mediant =
+  QCheck2.Test.make ~name:"Farey denominator <= mediant denominator"
+    ~count:500
+    QCheck2.Gen.(pair frac_gen frac_gen)
+    (fun (a, b) ->
+      let lo, hi = if F.(a < b) then (a, b) else (b, a) in
+      QCheck2.assume (not (F.equal lo hi));
+      match (Slr.Farey.simplest_between ~lo ~hi, F.mediant lo hi) with
+      | Some s, Some m -> s.F.den <= m.F.den
+      | Some _, None -> true
+      | None, _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* Split_label rules + Simple_net (the paper's worked examples) *)
+
+module Rules = Slr.Split_label.Make (Slr.Ordinal.Bounded_fraction)
+module Net = Slr.Simple_net.Make (Slr.Ordinal.Bounded_fraction)
+
+let test_choose_label () =
+  (* infeasible: advertisement not below the current label *)
+  Alcotest.(check (option check_frac)) "infeasible" None
+    (Rules.choose_label ~current:(frac 1 2) ~cached_min:F.one ~adv:(frac 2 3));
+  (* keep current when it already satisfies Eq. 4 *)
+  Alcotest.(check (option check_frac)) "keep" (Some (frac 1 2))
+    (Rules.choose_label ~current:(frac 1 2) ~cached_min:(frac 2 3)
+       ~adv:(frac 1 3));
+  (* next element when it fits below the cached minimum *)
+  Alcotest.(check (option check_frac)) "next" (Some (frac 1 2))
+    (Rules.choose_label ~current:F.one ~cached_min:F.one ~adv:F.zero);
+  (* split when the next element does not fit *)
+  Alcotest.(check (option check_frac)) "split" (Some (frac 3 5))
+    (Rules.choose_label ~current:(frac 2 3) ~cached_min:(frac 2 3)
+       ~adv:(frac 1 2))
+
+let test_successor_max () =
+  Alcotest.check check_frac "empty -> least" F.zero (Rules.successor_max []);
+  Alcotest.check check_frac "max" (frac 2 3)
+    (Rules.successor_max [ (1, frac 1 2); (2, frac 2 3); (3, frac 1 3) ])
+
+let test_example1 () =
+  (* Fig. 1: T-A-B-C-D-E, request from E *)
+  let net = Net.create ~nodes:6 ~dest:0 in
+  List.iter (fun (a, b) -> Net.add_link net a b)
+    [ (0, 1); (1, 2); (2, 3); (3, 4); (4, 5) ];
+  (match Net.request net ~src:5 with
+  | Net.Routed { replier; _ } -> Alcotest.(check int) "T replies" 0 replier
+  | _ -> Alcotest.fail "no route");
+  List.iteri
+    (fun i expected ->
+      Alcotest.check check_frac
+        (Printf.sprintf "label of node %d" i)
+        expected (Net.label net i))
+    [ frac 0 1; frac 1 2; frac 2 3; frac 3 4; frac 4 5; frac 5 6 ];
+  match Net.check_invariants net with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_example2 () =
+  (* Fig. 2: stale nodes F, G, H relabel via splitting *)
+  let net = Net.create ~nodes:9 ~dest:0 in
+  List.iter (fun (a, b) -> Net.add_link net a b)
+    [ (0, 1); (1, 2); (2, 6); (6, 7); (7, 8) ];
+  (match Net.request net ~src:2 with Net.Routed _ -> () | _ -> assert false);
+  Net.seed_label net 6 (frac 2 3);
+  Net.seed_label net 7 (frac 2 3);
+  Net.seed_label net 8 (frac 3 4);
+  (match Net.request net ~src:8 with
+  | Net.Routed { replier; _ } -> Alcotest.(check int) "A replies" 1 replier
+  | _ -> Alcotest.fail "no route");
+  List.iter
+    (fun (i, expected) ->
+      Alcotest.check check_frac
+        (Printf.sprintf "label of node %d" i)
+        expected (Net.label net i))
+    [ (8, frac 3 4); (7, frac 2 3); (6, frac 5 8); (2, frac 3 5);
+      (1, frac 1 2); (0, frac 0 1) ];
+  match Net.check_invariants net with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+let test_simple_net_no_route () =
+  let net = Net.create ~nodes:4 ~dest:0 in
+  Net.add_link net 2 3;
+  (match Net.request net ~src:3 with
+  | Net.No_route -> ()
+  | _ -> Alcotest.fail "expected No_route");
+  Alcotest.(check bool) "still unlabeled" true
+    (F.is_one (Net.label net 3))
+
+let test_simple_net_break_and_repair () =
+  let net = Net.create ~nodes:5 ~dest:0 in
+  (* diamond: 0-1-3, 0-2-3, plus 3-4 *)
+  List.iter (fun (a, b) -> Net.add_link net a b)
+    [ (0, 1); (0, 2); (1, 3); (2, 3); (3, 4) ];
+  (match Net.request net ~src:4 with Net.Routed _ -> () | _ -> assert false);
+  let first_path = Option.get (Net.route_to_dest net ~src:4) in
+  (* break the first hop the route uses after node 3 *)
+  (match first_path with
+  | _ :: _ :: via :: _ -> Net.break_link net 3 via
+  | _ -> Alcotest.fail "unexpected path shape");
+  (match Net.request net ~src:4 with
+  | Net.Routed _ -> ()
+  | _ -> Alcotest.fail "repair failed");
+  (match Net.route_to_dest net ~src:4 with
+  | Some path -> Alcotest.(check int) "path ends at dest" 0 (List.hd (List.rev path))
+  | None -> Alcotest.fail "no route after repair");
+  match Net.check_invariants net with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e
+
+(* Theorem 3 on the abstract machine: arbitrary graphs and random
+   request/break schedules never violate topological order or create a
+   cycle. *)
+let prop_simple_net_loop_free =
+  QCheck2.Test.make ~name:"abstract SLR is loop-free under random schedules"
+    ~count:100
+    QCheck2.Gen.(
+      let* nodes = int_range 4 12 in
+      let* edges =
+        list_size (int_range nodes (3 * nodes))
+          (pair (int_range 0 (nodes - 1)) (int_range 0 (nodes - 1)))
+      in
+      let* ops =
+        list_size (int_range 5 40)
+          (oneof
+             [
+               map (fun s -> `Request s) (int_range 0 (nodes - 1));
+               map (fun (a, b) -> `Break (a, b))
+                 (pair (int_range 0 (nodes - 1)) (int_range 0 (nodes - 1)));
+             ])
+      in
+      return (nodes, edges, ops))
+    (fun (nodes, edges, ops) ->
+      let net = Net.create ~nodes ~dest:0 in
+      List.iter (fun (a, b) -> if a <> b then Net.add_link net a b) edges;
+      List.for_all
+        (fun op ->
+          (match op with
+          | `Request src -> ignore (Net.request net ~src)
+          | `Break (a, b) -> if a <> b then Net.break_link net a b);
+          match Net.check_invariants net with Ok () -> true | Error _ -> false)
+        ops)
+
+(* Same property on the unbounded label set. *)
+module UNet = Slr.Simple_net.Make (Slr.Ordinal.Unbounded_fraction)
+
+let prop_unbounded_net_loop_free =
+  QCheck2.Test.make ~name:"unbounded SLR is loop-free under random schedules"
+    ~count:50
+    QCheck2.Gen.(
+      let* nodes = int_range 4 10 in
+      let* requests = list_size (int_range 5 30) (int_range 0 (nodes - 1)) in
+      return (nodes, requests))
+    (fun (nodes, requests) ->
+      let net = UNet.create ~nodes ~dest:0 in
+      (* ring plus chords *)
+      for i = 0 to nodes - 1 do
+        UNet.add_link net i ((i + 1) mod nodes)
+      done;
+      UNet.add_link net 0 (nodes / 2);
+      List.for_all
+        (fun src ->
+          ignore (UNet.request net ~src);
+          match UNet.check_invariants net with
+          | Ok () -> true
+          | Error _ -> false)
+        requests)
+
+(* ------------------------------------------------------------------ *)
+(* Dag *)
+
+let test_dag () =
+  let successors = function 0 -> [] | 1 -> [ 0 ] | 2 -> [ 1; 0 ] | _ -> [ 2 ] in
+  (match Slr.Dag.acyclic ~successors 4 with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "acyclic graph reported cyclic");
+  let cyclic = function 0 -> [ 1 ] | 1 -> [ 2 ] | _ -> [ 0 ] in
+  (match Slr.Dag.acyclic ~successors:cyclic 3 with
+  | Ok () -> Alcotest.fail "cycle not detected"
+  | Error cycle ->
+      Alcotest.(check bool) "witness closes" true
+        (List.length cycle >= 2 && List.hd cycle = List.hd (List.rev cycle)));
+  Alcotest.(check bool) "reaches" true
+    (Slr.Dag.reaches ~successors ~src:3 ~dst:0 4);
+  Alcotest.(check bool) "does not reach" false
+    (Slr.Dag.reaches ~successors ~src:0 ~dst:3 4)
+
+let test_topological_order () =
+  let labels = [| 0; 5; 3; 7 |] in
+  let successors = function 1 -> [ 2 ] | 2 -> [ 0 ] | 3 -> [ 1 ] | _ -> [] in
+  (match
+     Slr.Dag.topological_order ~compare:Int.compare
+       ~label:(fun i -> labels.(i))
+       ~successors 4
+   with
+  | Ok () -> ()
+  | Error _ -> Alcotest.fail "valid order rejected");
+  let bad = function 2 -> [ 1 ] | _ -> [] in
+  match
+    Slr.Dag.topological_order ~compare:Int.compare
+      ~label:(fun i -> labels.(i))
+      ~successors:bad 4
+  with
+  | Ok () -> Alcotest.fail "violation not caught"
+  | Error (i, j) ->
+      Alcotest.(check (pair int int)) "offending edge" (2, 1) (i, j)
+
+let qtest = QCheck_alcotest.to_alcotest
+
+let () =
+  Alcotest.run "slr"
+    [
+      ( "fraction",
+        [
+          Alcotest.test_case "make validates" `Quick test_fraction_make_validates;
+          Alcotest.test_case "order" `Quick test_fraction_order;
+          Alcotest.test_case "mediant and next" `Quick test_fraction_mediant;
+          Alcotest.test_case "Fibonacci 45-split bound" `Quick test_fibonacci_bound;
+          qtest prop_mediant_between;
+          qtest prop_compare_antisym;
+          qtest prop_compare_matches_floats;
+          qtest prop_next_is_greater;
+        ] );
+      ( "bignat",
+        [
+          Alcotest.test_case "basics" `Quick test_bignat_basics;
+          Alcotest.test_case "bigfrac density" `Quick test_bigfrac_dense;
+          qtest prop_bignat_add_matches_int;
+          qtest prop_bignat_mul_matches_int;
+          qtest prop_bignat_string_roundtrip;
+        ] );
+      ( "lexlabel",
+        [
+          Alcotest.test_case "order" `Quick test_lexlabel_order;
+          Alcotest.test_case "next" `Quick test_lexlabel_next;
+          Alcotest.test_case "between cases" `Quick test_lexlabel_between_cases;
+          Alcotest.test_case "abstract SLR on strings" `Quick test_lexlabel_network;
+          qtest prop_lexlabel_between;
+          qtest prop_lexlabel_between_top;
+        ] );
+      ( "ordering",
+        [
+          Alcotest.test_case "criteria (Def. 5)" `Quick test_ordering_criteria;
+          Alcotest.test_case "min" `Quick test_ordering_min;
+          Alcotest.test_case "addition (Def. 6)" `Quick test_ordering_add;
+          qtest prop_precedes_transitive;
+          qtest prop_precedes_asymmetric;
+        ] );
+      ( "neworder",
+        [
+          Alcotest.test_case "all five cases" `Quick test_neworder_cases;
+          Alcotest.test_case "overflow" `Quick test_neworder_overflow;
+          Alcotest.test_case "custom splitter (§VI)" `Quick
+            test_neworder_custom_split;
+          Alcotest.test_case "degenerate interval" `Quick
+            test_neworder_degenerate_interval;
+          Alcotest.test_case "successor elimination" `Quick test_filter_successors;
+          qtest prop_neworder_maintains_order;
+          qtest prop_neworder_unconditional;
+        ] );
+      ( "farey",
+        [
+          Alcotest.test_case "simplest fractions" `Quick test_farey_simplest;
+          qtest prop_farey_inside;
+          qtest prop_farey_minimal;
+          qtest prop_farey_never_wider_than_mediant;
+        ] );
+      ( "split-label",
+        [
+          Alcotest.test_case "choose_label" `Quick test_choose_label;
+          Alcotest.test_case "successor_max" `Quick test_successor_max;
+        ] );
+      ( "simple-net",
+        [
+          Alcotest.test_case "paper Example 1 (Fig. 1)" `Quick test_example1;
+          Alcotest.test_case "paper Example 2 (Fig. 2)" `Quick test_example2;
+          Alcotest.test_case "partitioned request" `Quick test_simple_net_no_route;
+          Alcotest.test_case "break and repair" `Quick test_simple_net_break_and_repair;
+          qtest prop_simple_net_loop_free;
+          qtest prop_unbounded_net_loop_free;
+        ] );
+      ( "dag",
+        [
+          Alcotest.test_case "acyclicity" `Quick test_dag;
+          Alcotest.test_case "topological order" `Quick test_topological_order;
+        ] );
+    ]

@@ -1,0 +1,355 @@
+(* Tests for the wireless substrate: geometry, mobility, radio timing,
+   channel propagation/collisions, and the 802.11-style MAC. *)
+
+module V = Wireless.Vec2
+module T = Wireless.Terrain
+module W = Wireless.Waypoint
+module Radio = Wireless.Radio
+module Ch = Wireless.Channel
+module Mac = Wireless.Mac80211
+module Frame = Wireless.Frame
+
+let vec x y = V.make ~x ~y
+
+(* ------------------------------------------------------------------ *)
+(* Geometry and mobility *)
+
+let test_vec2 () =
+  Alcotest.(check (float 1e-9)) "dist" 5.0 (V.dist (vec 0.0 0.0) (vec 3.0 4.0));
+  Alcotest.(check (float 1e-9)) "norm" 5.0 (V.norm (vec 3.0 4.0));
+  let m = V.lerp (vec 0.0 0.0) (vec 10.0 20.0) ~frac:0.25 in
+  Alcotest.(check (float 1e-9)) "lerp x" 2.5 m.V.x;
+  Alcotest.(check (float 1e-9)) "lerp y" 5.0 m.V.y
+
+let test_terrain () =
+  let t = T.make ~width:100.0 ~height:50.0 in
+  Alcotest.(check bool) "contains inside" true (T.contains t (vec 50.0 25.0));
+  Alcotest.(check bool) "outside" false (T.contains t (vec 101.0 25.0));
+  let rng = Des.Rng.create 3L in
+  for _ = 1 to 200 do
+    Alcotest.(check bool) "random point inside" true
+      (T.contains t (T.random_point t rng))
+  done;
+  Alcotest.check_raises "bad terrain"
+    (Invalid_argument "Terrain.make: dimensions must be positive") (fun () ->
+      ignore (T.make ~width:0.0 ~height:5.0))
+
+let test_waypoint_stationary () =
+  let p = vec 10.0 20.0 in
+  let s = W.stationary p in
+  Alcotest.(check bool) "fixed" true (V.equal p (W.position s 0.0));
+  Alcotest.(check bool) "fixed later" true (V.equal p (W.position s 1e6))
+
+let generate_script ?(pause = 5.0) ?(seed = 11L) () =
+  W.generate ~terrain:T.paper
+    ~rng:(Des.Rng.create seed)
+    ~pause ~speed_min:0.5 ~speed_max:20.0 ~duration:300.0
+
+let test_waypoint_kinematics () =
+  let s = generate_script () in
+  (* position before the first departure equals the initial point *)
+  let p0 = W.position s 0.0 in
+  Alcotest.(check bool) "initial pause" true
+    (V.equal p0 (W.position s 4.999));
+  (* speed is bounded everywhere *)
+  let max_speed = ref 0.0 in
+  let dt = 0.5 in
+  let steps = int_of_float (300.0 /. dt) in
+  for k = 0 to steps - 1 do
+    let t = float_of_int k *. dt in
+    let v = V.dist (W.position s t) (W.position s (t +. dt)) /. dt in
+    if v > !max_speed then max_speed := v
+  done;
+  Alcotest.(check bool)
+    (Printf.sprintf "observed speed %.1f <= 20" !max_speed)
+    true (!max_speed <= 20.0 +. 1e-6);
+  Alcotest.(check bool) "script max speed <= 20" true (W.max_speed s <= 20.0);
+  (* all positions stay on the terrain *)
+  for k = 0 to steps do
+    Alcotest.(check bool) "on terrain" true
+      (T.contains T.paper (W.position s (float_of_int k *. dt)))
+  done
+
+let test_waypoint_pause_900_is_static () =
+  let s =
+    W.generate ~terrain:T.paper
+      ~rng:(Des.Rng.create 17L)
+      ~pause:900.0 ~speed_min:0.5 ~speed_max:20.0 ~duration:900.0
+  in
+  let p0 = W.position s 0.0 in
+  Alcotest.(check bool) "no movement within the run" true
+    (V.equal p0 (W.position s 899.9))
+
+let test_waypoint_deterministic () =
+  let a = generate_script ~seed:5L () and b = generate_script ~seed:5L () in
+  Alcotest.(check bool) "same seed same trajectory" true
+    (List.for_all
+       (fun t -> V.equal (W.position a t) (W.position b t))
+       [ 0.0; 10.0; 100.0; 299.0 ])
+
+(* ------------------------------------------------------------------ *)
+(* Radio timing *)
+
+let test_radio_durations () =
+  let r = Radio.default in
+  (* 512B payload + 28B MAC header at 2 Mb/s + 192us PLCP *)
+  Alcotest.(check (float 1e-9)) "data airtime"
+    (192e-6 +. (float_of_int ((512 + 28) * 8) /. 2e6))
+    (Radio.tx_duration r ~size:512);
+  Alcotest.(check bool) "ack shorter than data" true
+    (Radio.ack_duration r < Radio.tx_duration r ~size:512);
+  Alcotest.(check bool) "rts short" true
+    (Radio.rts_duration r < 0.5e-3)
+
+(* ------------------------------------------------------------------ *)
+(* Channel *)
+
+(* fixed positions: nodes on a line, 200 m apart *)
+let line_channel engine n =
+  let position i _t = vec (float_of_int i *. 200.0) 0.0 in
+  Ch.create engine ~nodes:n ~position ~range:250.0 ~cs_range:550.0
+
+let test_channel_delivery () =
+  let e = Des.Engine.create () in
+  let ch = line_channel e 3 in
+  let at_1 = ref [] and at_2 = ref [] in
+  Ch.set_receiver ch 1 (fun ~src pdu -> at_1 := (src, pdu) :: !at_1);
+  Ch.set_receiver ch 2 (fun ~src pdu -> at_2 := (src, pdu) :: !at_2);
+  Ch.transmit ch ~src:0 ~duration:1e-3 "hello";
+  Des.Engine.run_all e;
+  (* node 1 is 200 m away (in range); node 2 is 400 m away (out of range) *)
+  Alcotest.(check (list (pair int string))) "node 1 hears node 0"
+    [ (0, "hello") ] !at_1;
+  Alcotest.(check (list (pair int string))) "node 2 hears nothing" [] !at_2
+
+let test_channel_collision () =
+  let e = Des.Engine.create () in
+  (* nodes 0 and 2 are 400 m apart (hidden from each other at rx range but
+     both in range of node 1) *)
+  let ch = line_channel e 3 in
+  let got = ref 0 in
+  Ch.set_receiver ch 1 (fun ~src:_ _ -> incr got);
+  Ch.transmit ch ~src:0 ~duration:1e-3 "a";
+  ignore
+    (Des.Engine.schedule e ~delay:1e-4 (fun () ->
+         Ch.transmit ch ~src:2 ~duration:1e-3 "b"));
+  Des.Engine.run_all e;
+  Alcotest.(check int) "both frames corrupted" 0 !got;
+  Alcotest.(check bool) "collision counted" true (Ch.collisions ch >= 1);
+  Alcotest.(check bool) "at the receiver" true (Ch.collisions_at ch 1 >= 1)
+
+let test_channel_capture () =
+  let e = Des.Engine.create () in
+  (* receiver at 0; near sender at 50 m; far sender at 400 m: the near frame
+     is >3x closer and survives the overlap *)
+  let position i _ =
+    match i with 0 -> vec 0.0 0.0 | 1 -> vec 50.0 0.0 | _ -> vec 400.0 0.0
+  in
+  let ch = Ch.create e ~nodes:3 ~position ~range:450.0 ~cs_range:990.0 in
+  let got = ref [] in
+  Ch.set_receiver ch 0 (fun ~src pdu -> got := (src, pdu) :: !got);
+  Ch.transmit ch ~src:2 ~duration:1e-3 "far";
+  ignore
+    (Des.Engine.schedule e ~delay:1e-4 (fun () ->
+         Ch.transmit ch ~src:1 ~duration:1e-3 "near"));
+  Des.Engine.run_all e;
+  Alcotest.(check (list (pair int string))) "near frame captured"
+    [ (1, "near") ] !got
+
+let test_channel_half_duplex () =
+  let e = Des.Engine.create () in
+  let ch = line_channel e 2 in
+  let got = ref 0 in
+  Ch.set_receiver ch 1 (fun ~src:_ _ -> incr got);
+  (* node 1 is transmitting while node 0's frame arrives *)
+  Ch.transmit ch ~src:1 ~duration:2e-3 "mine";
+  ignore
+    (Des.Engine.schedule e ~delay:1e-4 (fun () ->
+         Ch.transmit ch ~src:0 ~duration:1e-3 "theirs"));
+  Des.Engine.run_all e;
+  Alcotest.(check int) "transmitter hears nothing" 0 !got
+
+let test_channel_carrier_sense () =
+  let e = Des.Engine.create () in
+  let ch = line_channel e 4 in
+  Alcotest.(check bool) "idle" false (Ch.busy ch 1);
+  Ch.transmit ch ~src:0 ~duration:1e-3 "x";
+  Alcotest.(check bool) "busy in cs range (200 m)" true (Ch.busy ch 1);
+  Alcotest.(check bool) "busy at 400 m (within 550 cs)" true (Ch.busy ch 2);
+  Alcotest.(check bool) "idle at 600 m" false (Ch.busy ch 3);
+  Alcotest.(check bool) "busy_until covers airtime" true
+    (Ch.busy_until ch 1 >= 1e-3);
+  ignore
+    (Des.Engine.schedule e ~delay:2e-3 (fun () ->
+         Alcotest.(check bool) "idle after" false (Ch.busy ch 1)));
+  Des.Engine.run_all e
+
+let test_channel_neighbors () =
+  let e = Des.Engine.create () in
+  let ch = line_channel e 5 in
+  Alcotest.(check (list int)) "neighbors of 2" [ 1; 3 ] (Ch.neighbors ch 2);
+  Alcotest.(check bool) "in_range" true (Ch.in_range ch 0 1);
+  Alcotest.(check bool) "not in range" false (Ch.in_range ch 0 2)
+
+(* ------------------------------------------------------------------ *)
+(* MAC *)
+
+type Frame.payload += Probe of int
+
+let mac_world n =
+  let e = Des.Engine.create () in
+  let position i _t = vec (float_of_int i *. 200.0) 0.0 in
+  let ch =
+    Ch.create e ~nodes:n ~position ~range:250.0 ~cs_range:550.0
+  in
+  let received = Array.make n [] in
+  let failed = ref [] in
+  let succeeded = ref [] in
+  let macs =
+    Array.init n (fun i ->
+        Mac.create e Radio.default ch ~id:i
+          ~rng:(Des.Rng.create (Int64.of_int (100 + i)))
+          {
+            Mac.on_receive =
+              (fun ~src frame -> received.(i) <- (src, frame) :: received.(i));
+            on_unicast_success =
+              (fun ~frame:_ ~dst -> succeeded := dst :: !succeeded);
+            on_unicast_fail = (fun ~frame:_ ~dst -> failed := dst :: !failed);
+          })
+  in
+  (e, macs, received, failed, succeeded)
+
+let probe_frame ~src ~dst ~size k =
+  Frame.make ~src ~dst ~size ~payload:(Probe k)
+
+let test_mac_unicast_success () =
+  let e, macs, received, failed, succeeded = mac_world 2 in
+  Mac.send macs.(0) (probe_frame ~src:0 ~dst:(Frame.Unicast 1) ~size:512 1);
+  Des.Engine.run e ~until:1.0;
+  Alcotest.(check int) "delivered" 1 (List.length received.(1));
+  Alcotest.(check (list int)) "ack success" [ 1 ] !succeeded;
+  Alcotest.(check (list int)) "no failure" [] !failed;
+  let s = Mac.stats macs.(0) in
+  Alcotest.(check int) "one control tx (probe payload)" 1 s.Mac.tx_control
+
+let test_mac_unicast_fail_when_unreachable () =
+  let e, macs, received, failed, _ = mac_world 3 in
+  (* node 2 is 400 m from node 0: out of range, so retries exhaust *)
+  Mac.send macs.(0) (probe_frame ~src:0 ~dst:(Frame.Unicast 2) ~size:512 1);
+  Des.Engine.run e ~until:5.0;
+  Alcotest.(check (list int)) "failure reported" [ 2 ] !failed;
+  Alcotest.(check int) "nothing delivered" 0 (List.length received.(2));
+  Alcotest.(check int) "drop counted" 1 (Mac.drops macs.(0))
+
+let test_mac_broadcast () =
+  let e, macs, received, _, _ = mac_world 3 in
+  Mac.send macs.(1) (probe_frame ~src:1 ~dst:Frame.Broadcast ~size:64 9);
+  Des.Engine.run e ~until:1.0;
+  Alcotest.(check int) "node 0 heard" 1 (List.length received.(0));
+  Alcotest.(check int) "node 2 heard" 1 (List.length received.(2));
+  let s = Mac.stats macs.(1) in
+  Alcotest.(check int) "control tx" 1 s.Mac.tx_control
+
+let test_mac_queue_overflow () =
+  let e, macs, _, _, _ = mac_world 2 in
+  for k = 1 to Radio.default.Radio.queue_limit + 10 do
+    Mac.send macs.(0) (probe_frame ~src:0 ~dst:(Frame.Unicast 1) ~size:512 k)
+  done;
+  let s = Mac.stats macs.(0) in
+  Alcotest.(check int) "overflow drops" 10 s.Mac.drop_queue_full;
+  Des.Engine.run e ~until:60.0;
+  let s = Mac.stats macs.(0) in
+  Alcotest.(check int) "rest transmitted" Radio.default.Radio.queue_limit
+    s.Mac.tx_control
+
+let test_mac_serialises_contenders () =
+  (* two senders in carrier-sense range of each other both unicast to the
+     middle node; with carrier sense + RTS/CTS both must get through *)
+  let e, macs, received, failed, _ = mac_world 3 in
+  for k = 1 to 10 do
+    Mac.send macs.(0) (probe_frame ~src:0 ~dst:(Frame.Unicast 1) ~size:512 k);
+    Mac.send macs.(2) (probe_frame ~src:2 ~dst:(Frame.Unicast 1) ~size:512 k)
+  done;
+  Des.Engine.run e ~until:30.0;
+  Alcotest.(check (list int)) "no failures" [] !failed;
+  Alcotest.(check int) "all 20 delivered" 20 (List.length received.(1))
+
+let test_mac_data_vs_control_classification () =
+  let e, macs, _, _, _ = mac_world 2 in
+  let data =
+    {
+      Frame.origin = 0;
+      final_dst = 1;
+      flow = 0;
+      seq = 1;
+      sent_at = 0.0;
+      hops = 0;
+    }
+  in
+  Mac.send macs.(0)
+    (Frame.make ~src:0 ~dst:(Frame.Unicast 1) ~size:532
+       ~payload:(Frame.Data data));
+  Mac.send macs.(0) (probe_frame ~src:0 ~dst:(Frame.Unicast 1) ~size:64 1);
+  Des.Engine.run e ~until:2.0;
+  let s = Mac.stats macs.(0) in
+  Alcotest.(check int) "one data" 1 s.Mac.tx_data;
+  Alcotest.(check int) "one control" 1 s.Mac.tx_control
+
+let test_frame_classification () =
+  let data =
+    {
+      Frame.origin = 0;
+      final_dst = 1;
+      flow = 0;
+      seq = 1;
+      sent_at = 0.0;
+      hops = 0;
+    }
+  in
+  let f =
+    Frame.make ~src:0 ~dst:Frame.Broadcast ~size:10 ~payload:(Frame.Data data)
+  in
+  Alcotest.(check bool) "data payload is data" true (Frame.is_data f);
+  let c = Frame.make ~src:0 ~dst:Frame.Broadcast ~size:10 ~payload:(Probe 1) in
+  Alcotest.(check bool) "other payload is control" false (Frame.is_data c);
+  let reclassified = Frame.with_cls c Frame.Data_frame in
+  Alcotest.(check bool) "reclassified" true (Frame.is_data reclassified)
+
+let () =
+  Alcotest.run "wireless"
+    [
+      ( "geometry",
+        [
+          Alcotest.test_case "vec2" `Quick test_vec2;
+          Alcotest.test_case "terrain" `Quick test_terrain;
+        ] );
+      ( "waypoint",
+        [
+          Alcotest.test_case "stationary" `Quick test_waypoint_stationary;
+          Alcotest.test_case "kinematics" `Quick test_waypoint_kinematics;
+          Alcotest.test_case "pause 900 static" `Quick test_waypoint_pause_900_is_static;
+          Alcotest.test_case "deterministic" `Quick test_waypoint_deterministic;
+        ] );
+      ( "radio",
+        [ Alcotest.test_case "durations" `Quick test_radio_durations ] );
+      ( "channel",
+        [
+          Alcotest.test_case "delivery and range" `Quick test_channel_delivery;
+          Alcotest.test_case "hidden-terminal collision" `Quick test_channel_collision;
+          Alcotest.test_case "capture effect" `Quick test_channel_capture;
+          Alcotest.test_case "half duplex" `Quick test_channel_half_duplex;
+          Alcotest.test_case "carrier sense" `Quick test_channel_carrier_sense;
+          Alcotest.test_case "neighbors" `Quick test_channel_neighbors;
+        ] );
+      ( "mac",
+        [
+          Alcotest.test_case "unicast success" `Quick test_mac_unicast_success;
+          Alcotest.test_case "unicast failure" `Quick test_mac_unicast_fail_when_unreachable;
+          Alcotest.test_case "broadcast" `Quick test_mac_broadcast;
+          Alcotest.test_case "queue overflow" `Quick test_mac_queue_overflow;
+          Alcotest.test_case "contention serialisation" `Quick test_mac_serialises_contenders;
+          Alcotest.test_case "data/control classification" `Quick
+            test_mac_data_vs_control_classification;
+          Alcotest.test_case "frame classification" `Quick test_frame_classification;
+        ] );
+    ]
