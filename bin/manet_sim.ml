@@ -16,6 +16,80 @@ let protocol_conv =
   let print ppf p = Format.pp_print_string ppf (Sim.Config.protocol_name p) in
   Arg.conv (parse, print)
 
+(* --faults switches the whole subsystem on; the knobs below tune it and
+   are inert without it. Defaults mirror Faults.Spec.default. *)
+let faults_term =
+  let open Term.Syntax in
+  let d = Faults.Spec.default in
+  let+ enabled =
+    Arg.(
+      value & flag
+      & info [ "faults" ]
+          ~doc:
+            "Enable fault injection: link flaps, node crashes, partitions \
+             and packet-loss bursts on a dedicated RNG substream.")
+  and+ flap_rate =
+    Arg.(
+      value
+      & opt float d.Faults.Spec.flap_rate
+      & info [ "flap-rate" ] ~doc:"Link flaps per second, network-wide.")
+  and+ flap_down =
+    Arg.(
+      value
+      & opt float d.Faults.Spec.flap_down_mean
+      & info [ "flap-down" ] ~doc:"Mean seconds a flapped link stays down.")
+  and+ crashes =
+    Arg.(
+      value
+      & opt int d.Faults.Spec.crashes
+      & info [ "crashes" ] ~doc:"Node crashes over the run.")
+  and+ crash_down =
+    Arg.(
+      value
+      & opt float d.Faults.Spec.crash_down_mean
+      & info [ "crash-down" ] ~doc:"Mean seconds a crashed node stays down.")
+  and+ partitions =
+    Arg.(
+      value
+      & opt int d.Faults.Spec.partitions
+      & info [ "partitions" ] ~doc:"Network partitions over the run.")
+  and+ partition_down =
+    Arg.(
+      value
+      & opt float d.Faults.Spec.partition_mean
+      & info [ "partition-down" ] ~doc:"Mean seconds a partition lasts.")
+  and+ burst_rate =
+    Arg.(
+      value
+      & opt float d.Faults.Spec.burst_rate
+      & info [ "burst-rate" ] ~doc:"Packet-loss bursts per second.")
+  and+ burst_down =
+    Arg.(
+      value
+      & opt float d.Faults.Spec.burst_mean
+      & info [ "burst-down" ] ~doc:"Mean seconds a loss burst lasts.")
+  and+ burst_drop =
+    Arg.(
+      value
+      & opt float d.Faults.Spec.burst_drop_p
+      & info [ "burst-drop" ]
+          ~doc:"Per-frame drop probability during a burst.")
+  in
+  if not enabled then Faults.Spec.none
+  else
+    {
+      Faults.Spec.flap_rate;
+      flap_down_mean = flap_down;
+      crashes;
+      crash_down_mean = crash_down;
+      partitions;
+      partition_mean = partition_down;
+      burst_rate;
+      burst_mean = burst_down;
+      burst_drop_p = burst_drop;
+      extra = [];
+    }
+
 let config_term =
   let open Term.Syntax in
   let+ nodes =
@@ -39,6 +113,7 @@ let config_term =
     Arg.(
       value & opt float 4.0
       & info [ "rate" ] ~doc:"Packets per second per flow.")
+  and+ faults = faults_term
   in
   {
     Sim.Config.reproduction with
@@ -48,6 +123,7 @@ let config_term =
     duration;
     seed;
     packet_rate;
+    faults;
   }
 
 let run_cmd =
@@ -62,10 +138,7 @@ let run_cmd =
         & info [ "protocol"; "p" ] ~doc:"Routing protocol.")
     in
     let result = Sim.Runner.run { config with protocol } in
-    Format.printf "%a@." Sim.Metrics.pp_result result;
-    List.iter
-      (fun (reason, count) -> Format.printf "  drop[%s] = %d@." reason count)
-      result.Sim.Metrics.drop_reasons
+    Format.printf "%a" Sim.Report.run result
   in
   Cmd.v (Cmd.info "run" ~doc) term
 
@@ -107,13 +180,20 @@ let check_cmd =
         value & opt float 1.0
         & info [ "interval" ] ~doc:"Seconds between invariant sweeps.")
     in
-    match
-      Sim.Loopcheck.run { config with protocol = Sim.Config.Srp } ~interval
-    with
-    | Ok (result, sweeps, edges) ->
+    (* faulted runs use the online monitor: per-mutation checks against the
+       stored successor orderings, robust to post-crash label regression *)
+    let faulted = not (Faults.Spec.is_none config.Sim.Config.faults) in
+    let verify =
+      if faulted then Sim.Loopcheck.run_online else Sim.Loopcheck.run
+    in
+    match verify { config with protocol = Sim.Config.Srp } ~interval with
+    | Ok (result, checks, edges) ->
         Format.printf
-          "loop-freedom verified: %d sweeps, %d successor edges checked@.%a@."
-          sweeps edges Sim.Metrics.pp_result result
+          "loop-freedom verified (%s): %d %s, %d successor edges checked@.%a"
+          (if faulted then "online monitor" else "periodic sweeps")
+          checks
+          (if faulted then "checks" else "sweeps")
+          edges Sim.Report.run result
     | Error message ->
         Format.printf "VIOLATION: %s@." message;
         exit 1

@@ -1,0 +1,145 @@
+type stats = {
+  link_downs : int;
+  link_ups : int;
+  crashes : int;
+  restarts : int;
+  partitions : int;
+  heals : int;
+  bursts : int;
+  frames_blocked : int;
+}
+
+type t = {
+  engine : Des.Engine.t;
+  rng : Des.Rng.t;
+  on_crash : int -> unit;
+  on_restart : int -> unit;
+  (* down-counters rather than flags: overlapping events nest correctly *)
+  node_down : int array;
+  blocked_links : (int * int, int) Hashtbl.t;
+  mutable active_partitions : (int * bool array) list;
+  mutable active_bursts : (int * float) list;
+  mutable timers : Des.Engine.handle list;
+  mutable link_downs : int;
+  mutable link_ups : int;
+  mutable crashes : int;
+  mutable restarts : int;
+  mutable partitions : int;
+  mutable heals : int;
+  mutable bursts : int;
+  mutable frames_blocked : int;
+}
+
+let link_key a b = if a < b then (a, b) else (b, a)
+
+let apply t (ev : Spec.event) =
+  match ev with
+  | Spec.Link_down { la; lb } ->
+      let key = link_key la lb in
+      let n = Option.value ~default:0 (Hashtbl.find_opt t.blocked_links key) in
+      Hashtbl.replace t.blocked_links key (n + 1);
+      t.link_downs <- t.link_downs + 1
+  | Spec.Link_up { la; lb } ->
+      let key = link_key la lb in
+      (match Hashtbl.find_opt t.blocked_links key with
+      | Some n when n > 1 -> Hashtbl.replace t.blocked_links key (n - 1)
+      | Some _ -> Hashtbl.remove t.blocked_links key
+      | None -> ());
+      t.link_ups <- t.link_ups + 1
+  | Spec.Crash { node } ->
+      t.node_down.(node) <- t.node_down.(node) + 1;
+      t.crashes <- t.crashes + 1;
+      if t.node_down.(node) = 1 then t.on_crash node
+  | Spec.Restart { node } ->
+      if t.node_down.(node) > 0 then begin
+        t.node_down.(node) <- t.node_down.(node) - 1;
+        t.restarts <- t.restarts + 1;
+        if t.node_down.(node) = 0 then t.on_restart node
+      end
+  | Spec.Partition_start { id; members } ->
+      t.active_partitions <- (id, members) :: t.active_partitions;
+      t.partitions <- t.partitions + 1
+  | Spec.Partition_heal { id } ->
+      t.active_partitions <-
+        List.filter (fun (i, _) -> i <> id) t.active_partitions;
+      t.heals <- t.heals + 1
+  | Spec.Burst_start { id; drop_p } ->
+      t.active_bursts <- (id, drop_p) :: t.active_bursts;
+      t.bursts <- t.bursts + 1
+  | Spec.Burst_end { id } ->
+      t.active_bursts <- List.filter (fun (i, _) -> i <> id) t.active_bursts
+
+let create engine ~nodes ~rng ~plan ~on_crash ~on_restart =
+  let t =
+    {
+      engine;
+      rng;
+      on_crash;
+      on_restart;
+      node_down = Array.make nodes 0;
+      blocked_links = Hashtbl.create 16;
+      active_partitions = [];
+      active_bursts = [];
+      timers = [];
+      link_downs = 0;
+      link_ups = 0;
+      crashes = 0;
+      restarts = 0;
+      partitions = 0;
+      heals = 0;
+      bursts = 0;
+      frames_blocked = 0;
+    }
+  in
+  let now = Des.Engine.now engine in
+  List.iter
+    (fun { Spec.at; ev } ->
+      if at >= now then
+        t.timers <-
+          Des.Engine.schedule_at engine ~time:at (fun () -> apply t ev)
+          :: t.timers)
+    plan;
+  t
+
+let node_up t i = t.node_down.(i) = 0
+
+let blocked t ~src ~dst =
+  t.node_down.(src) > 0
+  || t.node_down.(dst) > 0
+  || Hashtbl.mem t.blocked_links (link_key src dst)
+  || List.exists (fun (_, members) -> members.(src) <> members.(dst))
+       t.active_partitions
+
+let frame_ok t ~src ~dst =
+  if blocked t ~src ~dst then begin
+    t.frames_blocked <- t.frames_blocked + 1;
+    false
+  end
+  else if
+    (* draw once per burst so overlapping bursts compound *)
+    List.exists (fun (_, p) -> Des.Rng.float t.rng 1.0 < p) t.active_bursts
+  then begin
+    t.frames_blocked <- t.frames_blocked + 1;
+    false
+  end
+  else true
+
+let stop t =
+  List.iter Des.Engine.cancel t.timers;
+  t.timers <- []
+
+let stats t =
+  {
+    link_downs = t.link_downs;
+    link_ups = t.link_ups;
+    crashes = t.crashes;
+    restarts = t.restarts;
+    partitions = t.partitions;
+    heals = t.heals;
+    bursts = t.bursts;
+    frames_blocked = t.frames_blocked;
+  }
+
+let event_count (s : stats) =
+  s.link_downs + s.link_ups + s.crashes + s.restarts + s.partitions + s.heals
+  + s.bursts

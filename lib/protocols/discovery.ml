@@ -3,6 +3,7 @@ type state = { mutable timer : Des.Engine.handle option }
 type t = {
   engine : Des.Engine.t;
   ttls : int array;
+  extra_retries : int;
   node_traversal : float;
   rate_limit : float;
   holdoff_base : float;
@@ -18,11 +19,13 @@ type t = {
   mutable sent : int;
 }
 
-let create engine ~ttls ~node_traversal ~send ~give_up =
+let create ?(extra_retries = 1) engine ~ttls ~node_traversal ~send ~give_up =
   if ttls = [] then invalid_arg "Discovery.create: empty ttl schedule";
+  if extra_retries < 0 then invalid_arg "Discovery.create: negative retries";
   {
     engine;
     ttls = Array.of_list ttls;
+    extra_retries;
     node_traversal;
     (* RFC 3561's RREQ_RATELIMIT *)
     rate_limit = 10.0;
@@ -87,9 +90,11 @@ let rec attempt t ~dst ~index =
     2.0 *. float_of_int ttl *. t.node_traversal
     *. (2.0 ** float_of_int index)
   in
+  (* retry cap: the TTL schedule, then [extra_retries] more network-wide
+     attempts (RFC 3561's RREQ_RETRIES), each still doubling the wait *)
   let handle =
     Des.Engine.schedule t.engine ~delay:timeout (fun () ->
-        if index + 1 >= Array.length t.ttls then begin
+        if index + 1 >= Array.length t.ttls + t.extra_retries then begin
           Hashtbl.remove t.states dst;
           note_failure t dst;
           t.give_up ~dst

@@ -1,12 +1,19 @@
 (** Expanding-ring route-discovery driver shared by the on-demand agents
     (SRP, AODV, LDR): tracks the active/passive state per destination,
     schedules retry timeouts of [2 * ttl * node_traversal_time] (Procedure 1
-    of the paper, mirroring AODV), walks the TTL schedule, and reports
-    failure after the last attempt. *)
+    of the paper, mirroring AODV), walks the TTL schedule with binary
+    exponential backoff between attempts, and reports failure after the
+    last attempt. Failed destinations enter an exponentially growing
+    hold-off so a partitioned destination cannot trigger request storms. *)
 
 type t
 
+(** [extra_retries] (default 1) is the number of additional attempts at the
+    largest TTL after the expanding-ring schedule is exhausted (RFC 3561's
+    RREQ_RETRIES); the inter-attempt timeout keeps doubling through them.
+    @raise Invalid_argument on an empty TTL schedule or negative retries. *)
 val create :
+  ?extra_retries:int ->
   Des.Engine.t ->
   ttls:int list ->
   node_traversal:float ->

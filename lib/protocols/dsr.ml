@@ -8,6 +8,7 @@ type config = {
   cache_lifetime : float;
   max_salvages : int;
   pending_capacity : int;
+  pending_ttl : float;
   relay_jitter : float;
   data_ttl : int;
   base_control_size : int;
@@ -24,6 +25,7 @@ let default_config =
     cache_lifetime = 30.0;
     max_salvages = 2;
     pending_capacity = 64;
+    pending_ttl = 30.0;
     relay_jitter = 0.01;
     data_ttl = 64;
     base_control_size = 24;
@@ -406,9 +408,11 @@ let create_full ?(config = default_config) ctx =
       cache = [];
       seen = Seen_cache.create ctx.Routing_intf.engine ~ttl:30.0;
       pending =
-        Pending.create ~capacity:config.pending_capacity
+        Pending.create ~ttl:config.pending_ttl ~engine:ctx.Routing_intf.engine
+          ~capacity:config.pending_capacity
           ~drop:(fun data ~size:_ ~reason ->
-            ctx.Routing_intf.drop_data data ~reason);
+            ctx.Routing_intf.drop_data data ~reason)
+          ();
       discovery = None;
       next_rreq_id = 0;
     }

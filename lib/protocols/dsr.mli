@@ -16,6 +16,7 @@ type config = {
   cache_lifetime : float;
   max_salvages : int;
   pending_capacity : int;
+  pending_ttl : float;  (** buffered packets expire after this long, s *)
   relay_jitter : float;
   data_ttl : int;
   base_control_size : int;  (** control packet size before per-hop bytes *)

@@ -5,6 +5,7 @@ type config = {
   node_traversal : float;
   route_lifetime : float;
   pending_capacity : int;
+  pending_ttl : float;
   relay_jitter : float;
   data_ttl : int;
   rreq_size : int;
@@ -19,6 +20,7 @@ let default_config =
     node_traversal = 0.04;
     route_lifetime = 10.0;
     pending_capacity = 64;
+    pending_ttl = 30.0;
     relay_jitter = 0.01;
     data_ttl = 64;
     rreq_size = 48;
@@ -409,9 +411,11 @@ let create_full ?(config = default_config) ctx =
       engagements = Hashtbl.create 64;
       seen = Seen_cache.create ctx.Routing_intf.engine ~ttl:30.0;
       pending =
-        Pending.create ~capacity:config.pending_capacity
+        Pending.create ~ttl:config.pending_ttl ~engine:ctx.Routing_intf.engine
+          ~capacity:config.pending_capacity
           ~drop:(fun data ~size:_ ~reason ->
-            ctx.Routing_intf.drop_data data ~reason);
+            ctx.Routing_intf.drop_data data ~reason)
+          ();
       discovery = None;
       self_seqno = 0;
       next_rreq_id = 0;

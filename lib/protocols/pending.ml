@@ -1,32 +1,93 @@
+type entry = { data : Wireless.Frame.data; size : int; deadline : float }
+
 type t = {
   capacity : int;
+  ttl : float;
+  engine : Des.Engine.t option;
   drop : Wireless.Frame.data -> size:int -> reason:string -> unit;
-  queues : (int, (Wireless.Frame.data * int) Queue.t) Hashtbl.t;
+  queues : (int, entry Queue.t) Hashtbl.t;
+  mutable sweep : Des.Engine.handle option;
 }
 
-let create ~capacity ~drop = { capacity; drop; queues = Hashtbl.create 16 }
+let expiry_reason = "pending-buffer expired"
+
+let create ?(ttl = infinity) ?engine ~capacity ~drop () =
+  { capacity; ttl; engine; drop; queues = Hashtbl.create 16; sweep = None }
+
+let now t =
+  match t.engine with Some e -> Des.Engine.now e | None -> 0.0
 
 let queue_for t dst =
   match Hashtbl.find_opt t.queues dst with
   | Some q -> q
   | None ->
-      let q = Queue.create () in
+      let q = Queue.create ()
+      in
       Hashtbl.replace t.queues dst q;
       q
 
+(* Entries are queued in arrival order, so each queue's deadlines are
+   non-decreasing: expiry only ever needs to look at the head. *)
+let drop_expired t q ~time =
+  let rec loop () =
+    match Queue.peek_opt q with
+    | Some e when e.deadline <= time ->
+        ignore (Queue.pop q);
+        t.drop e.data ~size:e.size ~reason:expiry_reason;
+        loop ()
+    | Some _ | None -> ()
+  in
+  loop ()
+
+let earliest_deadline t =
+  Hashtbl.fold
+    (fun _ q acc ->
+      match Queue.peek_opt q with
+      | Some e -> (match acc with
+          | Some d -> Some (Stdlib.min d e.deadline)
+          | None -> Some e.deadline)
+      | None -> acc)
+    t.queues None
+
+(* Timer-driven expiry so a destination nobody ever asks about again still
+   drains: one timer, re-armed at the earliest live deadline. *)
+let rec arm_sweep t =
+  match t.engine with
+  | None -> ()
+  | Some engine -> (
+      match t.sweep with
+      | Some h when not (Des.Engine.cancelled h) -> ()
+      | Some _ | None -> (
+          match earliest_deadline t with
+          | None -> t.sweep <- None
+          | Some deadline ->
+              let time = Stdlib.max deadline (Des.Engine.now engine) in
+              t.sweep <-
+                Some
+                  (Des.Engine.schedule_at engine ~time (fun () ->
+                       t.sweep <- None;
+                       let time = Des.Engine.now engine in
+                       Hashtbl.iter (fun _ q -> drop_expired t q ~time) t.queues;
+                       arm_sweep t))))
+
 let push t ~dst data ~size =
   let q = queue_for t dst in
+  drop_expired t q ~time:(now t);
   if Queue.length q >= t.capacity then begin
-    let old_data, old_size = Queue.pop q in
-    t.drop old_data ~size:old_size ~reason:"pending-buffer overflow"
+    let old = Queue.pop q in
+    t.drop old.data ~size:old.size ~reason:"pending-buffer overflow"
   end;
-  Queue.add (data, size) q
+  Queue.add { data; size; deadline = now t +. t.ttl } q;
+  arm_sweep t
 
 let take_all t ~dst =
   match Hashtbl.find_opt t.queues dst with
   | None -> []
   | Some q ->
-      let items = List.of_seq (Queue.to_seq q) in
+      drop_expired t q ~time:(now t);
+      let items =
+        List.of_seq (Seq.map (fun e -> (e.data, e.size)) (Queue.to_seq q))
+      in
       Queue.clear q;
       items
 
@@ -36,4 +97,6 @@ let drop_all t ~dst ~reason =
 let count t ~dst =
   match Hashtbl.find_opt t.queues dst with
   | None -> 0
-  | Some q -> Queue.length q
+  | Some q ->
+      drop_expired t q ~time:(now t);
+      Queue.length q

@@ -14,11 +14,15 @@ type config = {
   farey_splits : bool;
   probe_on_n : bool;
   pending_capacity : int;
+  pending_ttl : float;
   relay_jitter : float;
   data_ttl : int;
+  rack_timeout : float;
+  rack_retries : int;
   rreq_size : int;
   rrep_size : int;
   rerr_size : int;
+  rack_size : int;
   ip_overhead : int;
 }
 
@@ -34,11 +38,15 @@ let default_config =
     farey_splits = false;
     probe_on_n = false;
     pending_capacity = 64;
+    pending_ttl = 30.0;
     relay_jitter = 0.01;
     data_ttl = 64;
+    rack_timeout = 0.1;
+    rack_retries = 2;
     rreq_size = 52;
     rrep_size = 44;
     rerr_size = 32;
+    rack_size = 26;
     ip_overhead = 20;
   }
 
@@ -70,7 +78,13 @@ type rrep = {
 
 type rerr = { re_unreachable : int list }
 
-type Frame.payload += Rreq of rreq | Rrep of rrep | Rerr of rerr
+type rack = { k_src : int; k_id : int }
+
+type Frame.payload +=
+  | Rreq of rreq
+  | Rrep of rrep
+  | Rerr of rerr
+  | Rack of rack
 
 type succ = {
   mutable s_order : Ordering.t;
@@ -102,10 +116,15 @@ type t = {
   seen : Seen_cache.t;
   pending : Pending.t;
   mutable discovery : Discovery.t option;  (** set during wiring *)
+  (* RREPs awaiting a RACK, keyed by (rreq source, rreq id, next hop) *)
+  racks : (int * int * int, Des.Engine.handle) Hashtbl.t;
   mutable self_seqno : int;
   mutable next_rreq_id : int;
   mutable max_denom_seen : int;
   mutable resets : int;
+  mutable rack_retx : int;
+  (* online-monitor hook: fired after every route-table mutation *)
+  mutable listener : int -> unit;
 }
 
 let now t = Des.Engine.now t.ctx.Routing_intf.engine
@@ -220,13 +239,16 @@ let send_rerr t ~dsts ~to_ =
    destinations that lost their last successor. *)
 let drop_link t neighbor =
   let lost = ref [] in
+  let changed = ref [] in
   Hashtbl.iter
     (fun dst r ->
       if Hashtbl.mem r.succs neighbor then begin
         Hashtbl.remove r.succs neighbor;
+        changed := dst :: !changed;
         if Hashtbl.length r.succs = 0 then lost := dst :: !lost
       end)
     t.routes;
+  List.iter t.listener !changed;
   !lost
 
 let report_lost_routes t lost =
@@ -384,6 +406,7 @@ let set_route t ~dst ~via ~adv_order ~adv_dist ~cached ~lifetime =
           r.succs []
       in
       List.iter (Hashtbl.remove r.succs) stale;
+      t.listener dst;
       Adopted
     end
   end
@@ -403,6 +426,43 @@ let sweep_engagements t =
     in
     List.iter (Hashtbl.remove t.engagements) dead
   end
+
+(* RACK: protocol-level acknowledged RREP delivery (paper §III). The MAC
+   already retries each hop, but a receiver that crashed after the MAC ACK,
+   or a reply lost to a link that died mid-exchange, would otherwise stall
+   the whole discovery until the requester's ring timeout. Each unicast
+   RREP therefore awaits a RACK from the next hop and is retransmitted with
+   binary exponential backoff, at most [rack_retries] times. *)
+let rec send_rrep_reliable t ~to_ ?(attempt = 0) rrep =
+  t.ctx.Routing_intf.mac_send
+    (control_frame t ~dst:(Frame.Unicast to_) ~size:t.config.rrep_size
+       ~payload:(Rrep rrep));
+  let key = (rrep.rp_src, rrep.rp_id, to_) in
+  if attempt < t.config.rack_retries then begin
+    let delay = t.config.rack_timeout *. (2.0 ** float_of_int attempt) in
+    (match Hashtbl.find_opt t.racks key with
+    | Some old -> Des.Engine.cancel old
+    | None -> ());
+    Hashtbl.replace t.racks key
+      (Des.Engine.schedule t.ctx.Routing_intf.engine ~delay (fun () ->
+           Hashtbl.remove t.racks key;
+           t.rack_retx <- t.rack_retx + 1;
+           send_rrep_reliable t ~to_ ~attempt:(attempt + 1) rrep))
+  end
+  else Hashtbl.remove t.racks key
+
+let send_rack t ~to_ rrep =
+  t.ctx.Routing_intf.mac_send
+    (control_frame t ~dst:(Frame.Unicast to_) ~size:t.config.rack_size
+       ~payload:(Rack { k_src = rrep.rp_src; k_id = rrep.rp_id }))
+
+let handle_rack t ~from rack =
+  let key = (rack.k_src, rack.k_id, from) in
+  match Hashtbl.find_opt t.racks key with
+  | Some timer ->
+      Des.Engine.cancel timer;
+      Hashtbl.remove t.racks key
+  | None -> ()
 
 let destination_reply t rreq ~last_hop =
   (* The destination controls its sequence number: a reset-required
@@ -427,9 +487,7 @@ let destination_reply t rreq ~last_hop =
       rp_n = not (has_active_route t ~dst:rreq.rq_src);
     }
   in
-  t.ctx.Routing_intf.mac_send
-    (control_frame t ~dst:(Frame.Unicast last_hop) ~size:t.config.rrep_size
-       ~payload:(Rrep rrep))
+  send_rrep_reliable t ~to_:last_hop rrep
 
 let intermediate_reply t rreq ~last_hop =
   let rrep =
@@ -443,9 +501,7 @@ let intermediate_reply t rreq ~last_hop =
       rp_n = not (has_active_route t ~dst:rreq.rq_src);
     }
   in
-  t.ctx.Routing_intf.mac_send
-    (control_frame t ~dst:(Frame.Unicast last_hop) ~size:t.config.rrep_size
-       ~payload:(Rrep rrep))
+  send_rrep_reliable t ~to_:last_hop rrep
 
 (* Start Distance Condition (Condition 1). *)
 let sdc t rreq =
@@ -610,9 +666,7 @@ let handle_rrep t ~from rrep =
                   rp_dist = route_dist t rrep.rp_dst;
                 }
               in
-              t.ctx.Routing_intf.mac_send
-                (control_frame t ~dst:(Frame.Unicast e.e_last_hop)
-                   ~size:t.config.rrep_size ~payload:(Rrep relayed));
+              send_rrep_reliable t ~to_:e.e_last_hop relayed;
               flush_pending t ~dst:rrep.rp_dst
         end
     | Rejected ->
@@ -633,9 +687,7 @@ let handle_rrep t ~from rrep =
                   rp_dist = route_dist t rrep.rp_dst;
                 }
               in
-              t.ctx.Routing_intf.mac_send
-                (control_frame t ~dst:(Frame.Unicast e.e_last_hop)
-                   ~size:t.config.rrep_size ~payload:(Rrep relayed))
+              send_rrep_reliable t ~to_:e.e_last_hop relayed
         end
   end
 
@@ -652,6 +704,7 @@ let handle_rerr t ~from rerr =
           if Hashtbl.mem r.succs from then begin
             Hashtbl.remove r.succs from;
             prune_succs t r;
+            t.listener dst;
             if
               Hashtbl.length r.succs = 0
               && Hashtbl.length r.precursors > 0
@@ -711,8 +764,12 @@ let receive t ~src frame =
   match frame.Frame.payload with
   | Frame.Data data -> handle_data t ~from:src data ~size:frame.Frame.size
   | Rreq rreq -> handle_rreq t ~from:src rreq
-  | Rrep rrep -> handle_rrep t ~from:src rrep
+  | Rrep rrep ->
+      (* acknowledge first: even a reply we end up rejecting was received *)
+      send_rack t ~to_:src rrep;
+      handle_rrep t ~from:src rrep
   | Rerr rerr -> handle_rerr t ~from:src rerr
+  | Rack rack -> handle_rack t ~from:src rack
   | _ -> ()
 
 let create_full ?(config = default_config) ctx =
@@ -724,14 +781,19 @@ let create_full ?(config = default_config) ctx =
       engagements = Hashtbl.create 64;
       seen = Seen_cache.create ctx.Routing_intf.engine ~ttl:config.delete_period;
       pending =
-        Pending.create ~capacity:config.pending_capacity
+        Pending.create ~ttl:config.pending_ttl ~engine:ctx.Routing_intf.engine
+          ~capacity:config.pending_capacity
           ~drop:(fun data ~size:_ ~reason ->
-            ctx.Routing_intf.drop_data data ~reason);
+            ctx.Routing_intf.drop_data data ~reason)
+          ();
       discovery = None;
+      racks = Hashtbl.create 16;
       self_seqno = 1;
       next_rreq_id = 0;
       max_denom_seen = 1;
       resets = 0;
+      rack_retx = 0;
+      listener = ignore;
     }
   in
   let discovery =
@@ -742,6 +804,12 @@ let create_full ?(config = default_config) ctx =
            relays that detect a fraction overflow (Eq. 11) *)
         originate_rreq t ~dst ~ttl ~rr:false)
       ~give_up:(fun ~dst ->
+        (* graceful give-up: tell upstream nodes the destination is gone
+           rather than silently stalling their forwarding through us *)
+        (match Hashtbl.find_opt t.routes dst with
+        | Some r when Hashtbl.length r.precursors > 0 ->
+            send_rerr t ~dsts:[ dst ] ~to_:Frame.Broadcast
+        | Some _ | None -> ());
         Pending.drop_all t.pending ~dst ~reason:"route discovery failed")
   in
   t.discovery <- Some discovery;
@@ -761,3 +829,7 @@ let ordering t ~dst = own_ordering t dst
 let successor_orderings t ~dst = succ_ordering_list t dst
 
 let own_seqno t = t.self_seqno
+
+let on_route_change t f = t.listener <- f
+
+let rack_retransmits t = t.rack_retx

@@ -39,11 +39,15 @@ type config = {
           the N bit. Needed only by bidirectional workloads; off by default
           to match the paper's unidirectional CBR evaluation. *)
   pending_capacity : int;  (** packets buffered awaiting discovery *)
+  pending_ttl : float;  (** buffered packets expire after this long, s *)
   relay_jitter : float;  (** max broadcast-relay jitter, s *)
   data_ttl : int;  (** hop guard on data packets *)
+  rack_timeout : float;  (** initial RACK wait before an RREP resend, s *)
+  rack_retries : int;  (** RREP retransmissions before giving up *)
   rreq_size : int;
   rrep_size : int;
   rerr_size : int;
+  rack_size : int;
   ip_overhead : int;  (** bytes added to data payloads *)
 }
 
@@ -78,10 +82,18 @@ type rrep = {
 
 type rerr = { re_unreachable : int list }
 
+(** Reply acknowledgment: unicast RREPs are retransmitted with binary
+    exponential backoff until the next hop RACKs them (at most
+    [rack_retries] resends) — §III's acknowledged-reply hardening, which
+    keeps lost replies from stalling a discovery for a whole ring
+    timeout. *)
+type rack = { k_src : int; k_id : int }
+
 type Wireless.Frame.payload +=
   | Rreq of rreq
   | Rrep of rrep
   | Rerr of rerr
+  | Rack of rack
 
 val create : ?config:config -> Routing_intf.ctx -> Routing_intf.agent
 
@@ -105,3 +117,11 @@ val has_active_route : t -> dst:int -> bool
 
 (** This node's own (destination-controlled) sequence number. *)
 val own_seqno : t -> int
+
+(** [on_route_change t f] registers [f dst], fired after every route-table
+    mutation for [dst] — label adoption, successor elimination, link loss,
+    RERR processing. The online loop-invariant monitor hangs off this. *)
+val on_route_change : t -> (int -> unit) -> unit
+
+(** RREP retransmissions triggered by missing RACKs (diagnostic). *)
+val rack_retransmits : t -> int

@@ -26,6 +26,7 @@ type t = {
   packet_rate : float;
   packet_size : int;
   seed : int;
+  faults : Faults.Spec.t;
   srp : Protocols.Srp.config;
   aodv : Protocols.Aodv.config;
   ldr : Protocols.Ldr.config;
@@ -49,6 +50,7 @@ let paper =
     packet_rate = 4.0;
     packet_size = 512;
     seed = 1;
+    faults = Faults.Spec.none;
     srp = Protocols.Srp.default_config;
     aodv = Protocols.Aodv.default_config;
     ldr = Protocols.Ldr.default_config;
@@ -74,3 +76,5 @@ let with_protocol t protocol = { t with protocol }
 let with_pause t pause = { t with pause }
 
 let with_seed t seed = { t with seed }
+
+let with_faults t faults = { t with faults }

@@ -26,6 +26,10 @@ type t = {
   packet_rate : float;  (** packets per second per flow *)
   packet_size : int;  (** bytes *)
   seed : int;  (** trial seed: shared across protocols *)
+  faults : Faults.Spec.t;
+      (** fault-injection schedule; {!Faults.Spec.none} (the default in every
+          preset) bypasses the whole subsystem so clean runs are bitwise
+          identical to pre-fault builds *)
   srp : Protocols.Srp.config;  (** protocol tuning (ablation benches) *)
   aodv : Protocols.Aodv.config;
   ldr : Protocols.Ldr.config;
@@ -56,3 +60,5 @@ val with_protocol : t -> protocol -> t
 val with_pause : t -> float -> t
 
 val with_seed : t -> int -> t
+
+val with_faults : t -> Faults.Spec.t -> t

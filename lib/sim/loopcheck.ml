@@ -65,3 +65,93 @@ let run (config : Config.t) ~interval =
     in
     Ok (result, !sweeps, !edges)
   with Violation message -> Error message
+
+(* The online monitor asserts the invariant the moment a route table
+   mutates, not on a sampling clock. It deliberately checks each node's
+   *stored* successor orderings (the labels the successors advertised at
+   engagement time) rather than their current ones: under crash faults a
+   rebooted successor regresses to the unassigned label, which makes
+   current-label comparisons fire spuriously even though the Ordering
+   Criteria — and acyclicity, which we still verify globally — hold. *)
+let run_online (config : Config.t) ~interval =
+  if config.protocol <> Config.Srp then
+    invalid_arg "Loopcheck.run_online: only SRP exposes label state";
+  let nodes = config.nodes in
+  let srps : Protocols.Srp.t option array = Array.make nodes None in
+  let node_up = ref (fun _ -> true) in
+  let checks = ref 0 in
+  let edges = ref 0 in
+  (* destinations whose graph mutated since the last amortized global pass *)
+  let dirty : (int, unit) Hashtbl.t = Hashtbl.create 64 in
+  let srp i = Option.get srps.(i) in
+  (* the local invariant at [a]: a's own label strictly precedes every
+     stored successor label for [dst] (Theorem 3's per-edge condition) *)
+  let local_check a ~dst =
+    incr checks;
+    let own = Protocols.Srp.ordering (srp a) ~dst in
+    List.iter
+      (fun (b, s_order) ->
+        incr edges;
+        if not (Ordering.precedes own s_order) then
+          raise
+            (Violation
+               (Format.asprintf
+                  "dst %d: node %d holds successor %d out of order: %a not ⊑ %a"
+                  dst a b Ordering.pp own Ordering.pp s_order)))
+      (Protocols.Srp.successor_orderings (srp a) ~dst)
+  in
+  (* the global pass for one destination: every live node's local invariant
+     plus acyclicity of the whole successor graph *)
+  let sweep_dst dst =
+    let successor_ids = Array.make nodes [] in
+    for a = 0 to nodes - 1 do
+      if a <> dst && !node_up a then begin
+        local_check a ~dst;
+        successor_ids.(a) <-
+          List.map fst (Protocols.Srp.successor_orderings (srp a) ~dst)
+      end
+    done;
+    match Slr.Dag.acyclic ~successors:(fun i -> successor_ids.(i)) nodes with
+    | Ok () -> ()
+    | Error cycle ->
+        raise
+          (Violation
+             (Format.asprintf "dst %d: successor cycle %a" dst
+                (Format.pp_print_list
+                   ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "->")
+                   Format.pp_print_int)
+                cycle))
+  in
+  try
+    let result =
+      Runner.run_custom config
+        ~on_faults:(fun injector ->
+          node_up := Faults.Injector.node_up injector)
+        ~build:(fun i ctx ->
+          let t, agent = Protocols.Srp.create_full ~config:config.srp ctx in
+          srps.(i) <- Some t;
+          Protocols.Srp.on_route_change t (fun dst ->
+              (* fires on crashed incarnations too (expiry timers survive
+                 the swap); their state is frozen, so the check stays true *)
+              (match srps.(i) with
+              | Some current when current == t -> local_check i ~dst
+              | _ -> ());
+              Hashtbl.replace dirty dst ());
+          agent)
+        ~on_start:(fun engine ->
+          let rec tick time =
+            if time < config.duration then
+              ignore
+                (Des.Engine.schedule_at engine ~time (fun () ->
+                     let dsts =
+                       List.sort compare
+                         (Hashtbl.fold (fun d () acc -> d :: acc) dirty [])
+                     in
+                     Hashtbl.reset dirty;
+                     List.iter sweep_dst dsts;
+                     tick (time +. interval)))
+          in
+          tick interval)
+    in
+    Ok (result, !checks, !edges)
+  with Violation message -> Error message

@@ -11,3 +11,21 @@
     inspected — or [Error description] on the first violation. *)
 val run :
   Config.t -> interval:float -> (Metrics.result * int * int, string) result
+
+(** Online variant for faulted runs: the invariant is asserted at every
+    route-table mutation ({!Protocols.Srp.on_route_change}) against the
+    *stored* successor orderings — the labels the successors advertised when
+    the edges were engaged — and destinations touched since the last tick
+    get an amortized global pass (every [interval] seconds) that re-checks
+    every live node plus successor-graph acyclicity. Stored orderings are
+    the right reference under crash faults: a rebooted successor's current
+    label regresses to unassigned, which would make current-label
+    comparisons (as {!run} does on fault-free runs) fire spuriously while
+    the routing invariant actually holds. Crashed nodes are skipped in
+    global passes via {!Faults.Injector.node_up}.
+
+    Returns [Ok (metrics, checks, edges)] — the run's metrics, invariant
+    evaluations performed, and successor edges inspected — or
+    [Error description] on the first violation. *)
+val run_online :
+  Config.t -> interval:float -> (Metrics.result * int * int, string) result

@@ -5,6 +5,10 @@ type t = {
   drop_reasons : (string, int) Hashtbl.t;
   (* guard against double delivery of the same packet *)
   seen : (int, unit) Hashtbl.t;
+  (* per-flow outage tracking: time of the first drop since the flow last
+     delivered; closed (into [recovery]) by the next delivery on that flow *)
+  outages : (int, float) Hashtbl.t;
+  recovery : Stats.Summary.t;
 }
 
 let create () =
@@ -14,6 +18,8 @@ let create () =
     lat = Stats.Summary.create ();
     drop_reasons = Hashtbl.create 8;
     seen = Hashtbl.create 1024;
+    outages = Hashtbl.create 8;
+    recovery = Stats.Summary.create ();
   }
 
 let on_sent t _data = t.sent <- t.sent + 1
@@ -22,12 +28,20 @@ let on_delivered t ~now data =
   if not (Hashtbl.mem t.seen data.Wireless.Frame.seq) then begin
     Hashtbl.replace t.seen data.Wireless.Frame.seq ();
     t.delivered <- t.delivered + 1;
-    Stats.Summary.add t.lat (now -. data.Wireless.Frame.sent_at)
+    Stats.Summary.add t.lat (now -. data.Wireless.Frame.sent_at);
+    match Hashtbl.find_opt t.outages data.Wireless.Frame.flow with
+    | Some since ->
+        (* the flow is delivering again: the outage is over *)
+        Stats.Summary.add t.recovery (now -. since);
+        Hashtbl.remove t.outages data.Wireless.Frame.flow
+    | None -> ()
   end
 
-let on_dropped t _data ~reason =
+let on_dropped t ~now data ~reason =
   let count = Option.value ~default:0 (Hashtbl.find_opt t.drop_reasons reason) in
-  Hashtbl.replace t.drop_reasons reason (count + 1)
+  Hashtbl.replace t.drop_reasons reason (count + 1);
+  if not (Hashtbl.mem t.outages data.Wireless.Frame.flow) then
+    Hashtbl.replace t.outages data.Wireless.Frame.flow now
 
 type result = {
   sent : int;
@@ -46,10 +60,15 @@ type result = {
   seqno_resets : int;
   max_denominator : int;
   drop_reasons : (string * int) list;
+  fault_events : int;
+  fault_frames_blocked : int;
+  recoveries : int;
+  recovery_mean : float;
+  recovery_max : float;
 }
 
 let finalize (t : t) ~control_tx ~data_tx ~drop_queue_full ~drop_retry
-    ~mac_drops ~collisions ~nodes ~gauges =
+    ~mac_drops ~collisions ~nodes ~gauges ~fault_events ~fault_frames_blocked =
   let seqnos =
     List.map (fun g -> g.Protocols.Routing_intf.own_seqno) gauges
   in
@@ -90,6 +109,13 @@ let finalize (t : t) ~control_tx ~data_tx ~drop_queue_full ~drop_retry
       List.sort
         (fun (_, a) (_, b) -> compare b a)
         (Hashtbl.fold (fun k v acc -> (k, v) :: acc) t.drop_reasons []);
+    fault_events;
+    fault_frames_blocked;
+    recoveries = Stats.Summary.count t.recovery;
+    recovery_mean = Stats.Summary.mean t.recovery;
+    recovery_max =
+      (if Stats.Summary.count t.recovery = 0 then 0.0
+       else Stats.Summary.max t.recovery);
   }
 
 let pp_result ppf r =

@@ -15,7 +15,10 @@ val on_sent : t -> Wireless.Frame.data -> unit
 
 val on_delivered : t -> now:float -> Wireless.Frame.data -> unit
 
-val on_dropped : t -> Wireless.Frame.data -> reason:string -> unit
+(** [on_dropped t ~now data ~reason] counts a routing-layer drop and opens
+    an outage window for the packet's flow (closed, and its duration
+    recorded as a route-recovery time, by the flow's next delivery). *)
+val on_dropped : t -> now:float -> Wireless.Frame.data -> reason:string -> unit
 
 (** Final per-run result. *)
 type result = {
@@ -35,6 +38,11 @@ type result = {
   seqno_resets : int;
   max_denominator : int;
   drop_reasons : (string * int) list;  (** routing-layer drops by reason *)
+  fault_events : int;  (** injected fault events (0 on clean runs) *)
+  fault_frames_blocked : int;  (** frames suppressed by the injector *)
+  recoveries : int;  (** closed per-flow outage windows *)
+  recovery_mean : float;  (** mean seconds from first drop to next delivery *)
+  recovery_max : float;
 }
 
 (** [finalize t ~control_tx ~mac_drops ~collisions ~nodes ~gauges] closes
@@ -49,6 +57,8 @@ val finalize :
   collisions:int ->
   nodes:int ->
   gauges:Protocols.Routing_intf.gauges list ->
+  fault_events:int ->
+  fault_frames_blocked:int ->
   result
 
 val pp_result : Format.formatter -> result -> unit

@@ -1,3 +1,18 @@
+(* single-run rendering shared by `manet_sim run`, `manet_sim check` and
+   the determinism tests (which compare this output byte for byte) *)
+let run ppf (r : Metrics.result) =
+  Format.fprintf ppf "%a@." Metrics.pp_result r;
+  List.iter
+    (fun (reason, count) -> Format.fprintf ppf "  drop[%s] = %d@." reason count)
+    r.Metrics.drop_reasons;
+  if r.Metrics.fault_events > 0 then begin
+    Format.fprintf ppf "faults: %d events injected, %d frames blocked@."
+      r.Metrics.fault_events r.Metrics.fault_frames_blocked;
+    Format.fprintf ppf
+      "route recovery: %d outages healed, mean %.3f s, max %.3f s@."
+      r.Metrics.recoveries r.Metrics.recovery_mean r.Metrics.recovery_max
+  end
+
 let pp_summary ppf s =
   Format.fprintf ppf "%7.3f ±%6.3f" (Stats.Summary.mean s)
     (Stats.Summary.ci95 s)

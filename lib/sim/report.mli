@@ -23,3 +23,9 @@ val fig7 : Format.formatter -> Experiment.t -> unit
 
 (** Everything, in paper order. *)
 val all : Format.formatter -> Experiment.t -> unit
+
+(** Single-run report: the paper metrics line, per-reason routing drops,
+    and — when faults were injected — fault-event and route-recovery lines.
+    The rendering is deterministic for a given result; the determinism test
+    compares two same-seed faulted runs through it byte for byte. *)
+val run : Format.formatter -> Metrics.result -> unit

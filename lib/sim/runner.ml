@@ -8,7 +8,20 @@ let build_agent (config : Config.t) ctx =
   | Config.Dsr -> Protocols.Dsr.create ~config:config.dsr ctx
   | Config.Olsr -> Protocols.Olsr.create ~config:config.olsr ctx
 
-let run_custom_detailed (config : Config.t) ~build ~on_start =
+(* stand-in agent for a crashed node: every handler is inert, data handed
+   over by the application is dropped on the floor *)
+let dead_agent drop =
+  {
+    Protocols.Routing_intf.originate =
+      (fun data ~size:_ -> drop data ~reason:"node down");
+    receive = (fun ~src:_ _ -> ());
+    unicast_failed = (fun ~frame:_ ~dst:_ -> ());
+    unicast_ok = (fun ~frame:_ ~dst:_ -> ());
+    gauges = (fun () -> Protocols.Routing_intf.no_gauges);
+  }
+
+let run_custom_detailed ?(on_faults = fun (_ : Faults.Injector.t) -> ())
+    (config : Config.t) ~build ~on_start =
   let engine = Des.Engine.create () in
   let root = Des.Rng.create (Int64.of_int config.seed) in
   (* protocol-independent substreams: identical across protocols *)
@@ -51,22 +64,64 @@ let run_custom_detailed (config : Config.t) ~build ~on_start =
                 (agent i).Protocols.Routing_intf.unicast_failed ~frame ~dst);
           })
   in
-  for i = 0 to config.nodes - 1 do
-    let ctx =
-      {
-        Protocols.Routing_intf.id = i;
-        node_count = config.nodes;
-        engine;
-        rng = Des.Rng.split root (Printf.sprintf "agent-%d" i);
-        mac_send = (fun frame -> Wireless.Mac80211.send macs.(i) frame);
-        deliver =
-          (fun data ->
+  let drop_data data ~reason =
+    Metrics.on_dropped metrics ~now:(Des.Engine.now engine) data ~reason
+  in
+  (* crash/restart swaps the node's agent; [incarnation] fences off the old
+     incarnation's still-pending engine timers, whose closures would
+     otherwise keep transmitting the pre-crash state after the reboot *)
+  let incarnation = Array.make config.nodes 0 in
+  let make_ctx i ~rng_tag =
+    let inc = incarnation.(i) in
+    let live () = incarnation.(i) = inc in
+    {
+      Protocols.Routing_intf.id = i;
+      node_count = config.nodes;
+      engine;
+      rng = Des.Rng.split root rng_tag;
+      mac_send =
+        (fun frame -> if live () then Wireless.Mac80211.send macs.(i) frame);
+      deliver =
+        (fun data ->
+          if live () then
             Metrics.on_delivered metrics ~now:(Des.Engine.now engine) data);
-        drop_data = (fun data ~reason -> Metrics.on_dropped metrics data ~reason);
-      }
-    in
-    agents.(i) <- Some (build i ctx)
+      drop_data =
+        (fun data ~reason -> if live () then drop_data data ~reason);
+    }
+  in
+  for i = 0 to config.nodes - 1 do
+    agents.(i) <- Some (build i (make_ctx i ~rng_tag:(Printf.sprintf "agent-%d" i)))
   done;
+  let faults =
+    if Faults.Spec.is_none config.faults then None
+    else begin
+      let faults_rng = Des.Rng.split root "faults" in
+      let plan =
+        Faults.Spec.plan config.faults
+          ~rng:(Des.Rng.split faults_rng "plan")
+          ~nodes:config.nodes ~duration:config.duration
+      in
+      let injector =
+        Faults.Injector.create engine ~nodes:config.nodes
+          ~rng:(Des.Rng.split faults_rng "bursts")
+          ~plan
+          ~on_crash:(fun i ->
+            incarnation.(i) <- incarnation.(i) + 1;
+            Wireless.Mac80211.reset macs.(i);
+            agents.(i) <- Some (dead_agent drop_data))
+          ~on_restart:(fun i ->
+            (* reboot with fresh volatile state: labels, routes, MAC queue *)
+            incarnation.(i) <- incarnation.(i) + 1;
+            Wireless.Mac80211.reset macs.(i);
+            let rng_tag = Printf.sprintf "agent-%d-r%d" i incarnation.(i) in
+            agents.(i) <- Some (build i (make_ctx i ~rng_tag)))
+      in
+      Wireless.Channel.set_filter channel (fun ~src ~dst ->
+          Faults.Injector.frame_ok injector ~src ~dst);
+      on_faults injector;
+      Some injector
+    end
+  in
   on_start engine;
   let flows =
     Traffic.Cbr.generate ~rng:traffic_rng ~nodes:config.nodes
@@ -98,6 +153,13 @@ let run_custom_detailed (config : Config.t) ~build ~on_start =
            | None -> Protocols.Routing_intf.no_gauges)
          agents)
   in
+  let fault_events, fault_frames_blocked =
+    match faults with
+    | None -> (0, 0)
+    | Some injector ->
+        let s = Faults.Injector.stats injector in
+        (Faults.Injector.event_count s, s.Faults.Injector.frames_blocked)
+  in
   let result =
     Metrics.finalize metrics ~control_tx
       ~data_tx:(sum_stat (fun s -> s.Wireless.Mac80211.tx_data))
@@ -105,7 +167,7 @@ let run_custom_detailed (config : Config.t) ~build ~on_start =
       ~drop_retry:(sum_stat (fun s -> s.Wireless.Mac80211.drop_retry))
       ~mac_drops
       ~collisions:(Wireless.Channel.collisions channel)
-      ~nodes:config.nodes ~gauges
+      ~nodes:config.nodes ~gauges ~fault_events ~fault_frames_blocked
   in
   (result, gauges)
 
@@ -114,7 +176,7 @@ let run_detailed config =
     ~build:(fun _ ctx -> build_agent config ctx)
     ~on_start:(fun _ -> ())
 
-let run_custom config ~build ~on_start =
-  fst (run_custom_detailed config ~build ~on_start)
+let run_custom ?on_faults config ~build ~on_start =
+  fst (run_custom_detailed ?on_faults config ~build ~on_start)
 
 let run config = fst (run_detailed config)

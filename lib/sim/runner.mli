@@ -16,8 +16,18 @@ val run_detailed :
 (** [run_custom config ~build ~on_start] runs with caller-supplied agents
     ([build node_id ctx]) and a hook invoked with the engine before the
     simulation starts (for scheduling instrumentation such as the
-    loop-freedom sweeps of {!Loopcheck}). *)
+    loop-freedom sweeps of {!Loopcheck}).
+
+    When [config.faults] is not {!Faults.Spec.none}, the runner expands it
+    into a plan on the "faults" RNG substream, hooks the channel with the
+    injector's frame veto, and models a crash as total volatile-state loss:
+    the node's MAC is cleared and its agent replaced by an inert stand-in
+    until the restart rebuilds it through [build] (so white-box harnesses
+    see reboots too). [on_faults] receives the live injector right after it
+    is armed — instrumentation can capture it for {!Faults.Injector.node_up}
+    queries. It is never called on fault-free runs. *)
 val run_custom :
+  ?on_faults:(Faults.Injector.t -> unit) ->
   Config.t ->
   build:(int -> Protocols.Routing_intf.ctx -> Protocols.Routing_intf.agent) ->
   on_start:(Des.Engine.t -> unit) ->

@@ -16,6 +16,9 @@ type 'a t = {
      sampling MAC has no NAV; this restores the DIFS > SIFS protection) *)
   idle_guard : float;
   receivers : (src:int -> 'a -> unit) option array;
+  (* fault-injection hook: a frame reaching [dst] intact is still dropped
+     when the filter vetoes the (src, dst) pair at delivery time *)
+  mutable filter : (src:int -> dst:int -> bool) option;
   tx_until : float array;
   (* in-progress receptions per node, pruned lazily *)
   rx_active : reception list array;
@@ -37,6 +40,7 @@ let create engine ~nodes ~position ~range ~cs_range =
     capture_ratio = 3.0;
     idle_guard = 60e-6;
     receivers = Array.make nodes None;
+    filter = None;
     tx_until = Array.make nodes neg_infinity;
     rx_active = Array.make nodes [];
     air = [];
@@ -45,6 +49,11 @@ let create engine ~nodes ~position ~range ~cs_range =
   }
 
 let set_receiver t i f = t.receivers.(i) <- Some f
+
+let set_filter t f = t.filter <- Some f
+
+let deliverable t ~src ~dst =
+  match t.filter with None -> true | Some f -> f ~src ~dst
 
 let now t = Des.Engine.now t.engine
 
@@ -162,7 +171,11 @@ let transmit t ~src ~duration pdu =
             (Des.Engine.schedule t.engine ~delay:duration (fun () ->
                  t.rx_active.(j) <-
                    List.filter (fun r -> r != rx) t.rx_active.(j);
-                 if (not rx.corrupted) && not (transmitting t j) then begin
+                 if
+                   (not rx.corrupted)
+                   && (not (transmitting t j))
+                   && deliverable t ~src ~dst:j
+                 then begin
                    match t.receivers.(j) with
                    | Some deliver -> deliver ~src pdu
                    | None -> ()

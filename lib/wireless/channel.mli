@@ -25,6 +25,12 @@ val create :
 (** Install the upper-layer delivery callback for a node. *)
 val set_receiver : 'a t -> int -> (src:int -> 'a -> unit) -> unit
 
+(** [set_filter t f] installs a fault-injection veto: a frame that would be
+    delivered intact is silently dropped when [f ~src ~dst] is [false],
+    evaluated at delivery time. The filter does not affect carrier sense or
+    collision accounting — a faulted link still radiates energy. *)
+val set_filter : 'a t -> (src:int -> dst:int -> bool) -> unit
+
 (** [transmit t ~src ~duration pdu] starts a transmission now. *)
 val transmit : 'a t -> src:int -> duration:float -> 'a -> unit
 

@@ -305,6 +305,21 @@ let create engine radio channel ~id ~rng callbacks =
   Channel.set_receiver channel id (fun ~src pdu -> handle_pdu t ~src pdu);
   t
 
+(* Model a node power-cycling: everything volatile — queued frames, the
+   frame in flight, contention state, NAV, duplicate tracking — is gone.
+   Queued frames are discarded without the unicast-fail callback: the dead
+   node has no routing agent to notify. *)
+let reset t =
+  (match t.state with
+  | Contending h | Awaiting_cts h | Awaiting_ack h -> Des.Engine.cancel h
+  | Idle | Transmitting -> ());
+  t.state <- Idle;
+  Queue.clear t.queue;
+  t.current <- None;
+  t.cw <- t.radio.Radio.cw_min;
+  t.nav_until <- 0.0;
+  Hashtbl.reset t.last_seen
+
 let send t frame =
   if queue_length t >= t.radio.Radio.queue_limit then
     t.drop_queue_full <- t.drop_queue_full + 1

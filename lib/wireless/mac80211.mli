@@ -50,6 +50,12 @@ val create :
     queue is full. Destination comes from the frame itself. *)
 val send : t -> Frame.t -> unit
 
+(** [reset t] models a power-cycle: discards the queue and the frame in
+    flight (no [on_unicast_fail] callbacks), cancels pending timers, and
+    clears contention, NAV, and duplicate-suppression state. The MAC is
+    immediately usable again. *)
+val reset : t -> unit
+
 val queue_length : t -> int
 
 val stats : t -> stats

@@ -1,0 +1,12 @@
+#!/usr/bin/env sh
+# CI gate: full build, the whole test suite, then a faults-enabled smoke
+# run — a 50-node simulation with link flaps, crashes and loss bursts must
+# complete under the online loop-freedom monitor with zero violations.
+set -eu
+cd "$(dirname "$0")/.."
+
+dune build @all
+dune runtest
+
+dune exec bin/manet_sim.exe -- check --nodes 50 --duration 60 --faults
+echo "check.sh: all green"

@@ -105,7 +105,7 @@ let test_srp_destination_reply () =
   in
   agent.RI.receive ~src:3
     (Frame.make ~src:3 ~dst:Frame.Broadcast ~size:52 ~payload:(Srp.Rreq rreq));
-  run h;
+  run_short h;
   (match find_rrep (take_sent h) with
   | [ (frame, rrep) ] ->
       Alcotest.(check bool) "unicast to last hop" true
@@ -116,6 +116,13 @@ let test_srp_destination_reply () =
         (F.is_zero rrep.Srp.rp_order.O.frac);
       Alcotest.(check int) "distance 0" 0 rrep.Srp.rp_dist
   | l -> Alcotest.failf "expected 1 RREP, got %d" (List.length l));
+  (* the last hop RACKs the reply: no retransmissions follow *)
+  agent.RI.receive ~src:3
+    (Frame.make ~src:3 ~dst:(Frame.Unicast 5) ~size:12
+       ~payload:(Srp.Rack { Srp.k_src = 0; k_id = 1 }));
+  run h;
+  Alcotest.(check int) "acked reply is not retransmitted" 0
+    (List.length (find_rrep (take_sent h)));
   (* a reset-required solicitation forces a strictly larger seqno *)
   agent.RI.receive ~src:3
     (Frame.make ~src:3 ~dst:Frame.Broadcast ~size:52
@@ -263,11 +270,15 @@ let test_srp_sdc_intermediate_reply () =
     (Frame.make ~src:2 ~dst:Frame.Broadcast ~size:52 ~payload:(Srp.Rreq rreq));
   run h;
   (match find_rrep (take_sent h) with
-  | [ (frame, rrep) ] ->
+  | ((frame, rrep) :: _) as copies ->
+      (* no RACK ever comes back, so the reply is retransmitted with
+         backoff until the cap: 1 original + rack_retries resends *)
+      Alcotest.(check int) "unacked reply retransmitted to the cap" 3
+        (List.length copies);
       Alcotest.(check bool) "unicast back" true
         (frame.Frame.dst = Frame.Unicast 2);
       Alcotest.(check int) "advertises dst 5" 5 rrep.Srp.rp_dst
-  | l -> Alcotest.failf "expected intermediate RREP, got %d" (List.length l));
+  | [] -> Alcotest.fail "expected intermediate RREP");
   (* reset-required solicitations suppress intermediate replies *)
   agent.RI.receive ~src:2
     (Frame.make ~src:2 ~dst:Frame.Broadcast ~size:52
@@ -1000,6 +1011,7 @@ let test_pending_buffer () =
   let p =
     Protocols.Pending.create ~capacity:2 ~drop:(fun _ ~size:_ ~reason:_ ->
         incr drops)
+      ()
   in
   Protocols.Pending.push p ~dst:5 (mk_data ~seq:1 ()) ~size:512;
   Protocols.Pending.push p ~dst:5 (mk_data ~seq:2 ()) ~size:512;
@@ -1010,6 +1022,30 @@ let test_pending_buffer () =
   Alcotest.(check (list int)) "arrival order" [ 2; 3 ]
     (List.map (fun (d, _) -> d.Frame.seq) flushed);
   Alcotest.(check int) "empty after take" 0 (Protocols.Pending.count p ~dst:5)
+
+let test_pending_expiry () =
+  let e = Des.Engine.create () in
+  let drops = ref [] in
+  let p =
+    Protocols.Pending.create ~ttl:2.0 ~engine:e ~capacity:8
+      ~drop:(fun d ~size:_ ~reason -> drops := (d.Frame.seq, reason) :: !drops)
+      ()
+  in
+  Protocols.Pending.push p ~dst:5 (mk_data ~seq:1 ()) ~size:512;
+  ignore
+    (Des.Engine.schedule e ~delay:1.0 (fun () ->
+         Protocols.Pending.push p ~dst:5 (mk_data ~seq:2 ()) ~size:512));
+  (* the sweep timer drains the first packet at its 2 s deadline even
+     though nobody touches the buffer again *)
+  Des.Engine.run e ~until:2.5;
+  Alcotest.(check (list (pair int string)))
+    "first expired on time"
+    [ (1, "pending-buffer expired") ]
+    (List.rev !drops);
+  Alcotest.(check int) "second still held" 1 (Protocols.Pending.count p ~dst:5);
+  Des.Engine.run e ~until:3.5;
+  Alcotest.(check int) "second expired" 2 (List.length !drops);
+  Alcotest.(check int) "empty" 0 (Protocols.Pending.count p ~dst:5)
 
 let test_discovery_backoff () =
   let e = Des.Engine.create () in
@@ -1024,21 +1060,23 @@ let test_discovery_backoff () =
   Alcotest.(check bool) "active" true (Protocols.Discovery.active d ~dst:5);
   (* a second start while active is a no-op *)
   Protocols.Discovery.start d ~dst:5;
-  (* ttl 1 times out at 0.08 s; ttl 3 retry times out at 0.08 + 0.48 s *)
-  Des.Engine.run e ~until:1.0;
-  Alcotest.(check (list (pair int int))) "ring schedule" [ (1, 0); (3, 1) ]
+  (* ttl 1 times out at 0.08 s; ttl 3 at +0.48 s; then one extra
+     network-wide retry (extra_retries = 1) at +0.96 s -> give-up 1.52 s *)
+  Des.Engine.run e ~until:2.0;
+  Alcotest.(check (list (pair int int))) "ring schedule"
+    [ (1, 0); (3, 1); (3, 2) ]
     (List.rev !sends);
   Alcotest.(check int) "gave up once" 1 !failures;
   (* hold-off: an immediate restart after failure is suppressed *)
   sends := [];
   Protocols.Discovery.start d ~dst:5;
-  Des.Engine.run e ~until:1.1;
+  Des.Engine.run e ~until:2.4;
   Alcotest.(check (list (pair int int))) "suppressed during holdoff" []
     (List.rev !sends);
   (* the first-failure holdoff is one second; afterwards it runs again *)
-  Des.Engine.run e ~until:2.0;
+  Des.Engine.run e ~until:2.6;
   Protocols.Discovery.start d ~dst:5;
-  Des.Engine.run e ~until:2.1;
+  Des.Engine.run e ~until:2.7;
   Alcotest.(check bool) "restarted after holdoff" true (!sends <> [])
 
 let () =
@@ -1119,6 +1157,7 @@ let () =
         [
           Alcotest.test_case "seen cache" `Quick test_seen_cache;
           Alcotest.test_case "pending buffer" `Quick test_pending_buffer;
+          Alcotest.test_case "pending expiry" `Quick test_pending_expiry;
           Alcotest.test_case "discovery ring + backoff" `Quick
             test_discovery_backoff;
         ] );

@@ -82,20 +82,25 @@ let test_metrics_accounting () =
   Sim.Metrics.on_delivered m ~now:1.5 (data 1);
   (* duplicate delivery of the same packet must not double count *)
   Sim.Metrics.on_delivered m ~now:1.6 (data 1);
-  Sim.Metrics.on_dropped m (data 2) ~reason:"test";
+  Sim.Metrics.on_dropped m ~now:2.0 (data 2) ~reason:"test";
+  (* the flow delivers again 0.7 s after its first drop: one recovery *)
+  Sim.Metrics.on_delivered m ~now:2.7 (data 3);
   let gauges =
     [ { Protocols.Routing_intf.own_seqno = 4; max_denominator = 7; seqno_resets = 1 };
       { Protocols.Routing_intf.own_seqno = 0; max_denominator = 3; seqno_resets = 0 } ]
   in
   let r =
     Sim.Metrics.finalize m ~control_tx:10 ~data_tx:5 ~drop_queue_full:1
-      ~drop_retry:2 ~mac_drops:3 ~collisions:4 ~nodes:2 ~gauges
+      ~drop_retry:2 ~mac_drops:3 ~collisions:4 ~nodes:2 ~gauges ~fault_events:0
+      ~fault_frames_blocked:0
   in
   Alcotest.(check int) "sent" 2 r.Sim.Metrics.sent;
-  Alcotest.(check int) "delivered once" 1 r.Sim.Metrics.delivered;
-  Alcotest.(check (float 1e-9)) "ratio" 0.5 r.Sim.Metrics.delivery_ratio;
-  Alcotest.(check (float 1e-9)) "load" 10.0 r.Sim.Metrics.network_load;
-  Alcotest.(check (float 1e-9)) "latency" 0.5 r.Sim.Metrics.latency;
+  Alcotest.(check int) "delivered" 2 r.Sim.Metrics.delivered;
+  Alcotest.(check (float 1e-9)) "ratio" 1.0 r.Sim.Metrics.delivery_ratio;
+  Alcotest.(check (float 1e-9)) "load" 5.0 r.Sim.Metrics.network_load;
+  Alcotest.(check (float 1e-9)) "latency" 1.1 r.Sim.Metrics.latency;
+  Alcotest.(check int) "one recovery" 1 r.Sim.Metrics.recoveries;
+  Alcotest.(check (float 1e-9)) "recovery time" 0.7 r.Sim.Metrics.recovery_mean;
   Alcotest.(check (float 1e-9)) "drops per node" 1.5 r.Sim.Metrics.mac_drops_per_node;
   Alcotest.(check (float 1e-9)) "avg seqno" 2.0 r.Sim.Metrics.avg_seqno;
   Alcotest.(check int) "max denom" 7 r.Sim.Metrics.max_denominator;
