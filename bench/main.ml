@@ -55,7 +55,8 @@ let run_campaign () =
     (List.length Sim.Config.all_protocols);
   if not !full then
     Format.printf
-      "(pause times scaled by %.3f to keep the paused-time fraction of the        paper's 900 s runs)@."
+      "(pause times scaled by %.3f to keep the paused-time fraction of the \
+       paper's 900 s runs)@."
       (base.Sim.Config.duration /. 900.0);
   let progress = if !quiet then fun _ -> () else prerr_endline in
   let pause_scale =
@@ -213,7 +214,13 @@ let () =
     section "fig4" Sim.Report.fig4;
     section "fig5" Sim.Report.fig5;
     section "fig6" Sim.Report.fig6;
-    section "fig7" Sim.Report.fig7
+    section "fig7" Sim.Report.fig7;
+    (* machine-readable twin of the tables above, for plotting scripts *)
+    let oc = open_out "BENCH_campaign.json" in
+    output_string oc (Trace.Json.to_string (Sim.Report.campaign_json campaign));
+    output_char oc '\n';
+    close_out oc;
+    Format.printf "@.campaign JSON written to BENCH_campaign.json@."
   end;
   if wants "micro" then micro ();
   if wants "ablation" then begin

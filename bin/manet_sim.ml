@@ -126,6 +126,12 @@ let config_term =
     faults;
   }
 
+let write_json path json =
+  let oc = open_out path in
+  output_string oc (Trace.Json.to_string json);
+  output_char oc '\n';
+  close_out oc
+
 let run_cmd =
   let doc = "Run one simulation and print the paper's metrics." in
   let term =
@@ -136,9 +142,51 @@ let run_cmd =
         value
         & opt protocol_conv Sim.Config.Srp
         & info [ "protocol"; "p" ] ~doc:"Routing protocol.")
+    and+ trace_file =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "trace-file" ]
+            ~doc:
+              "Stream the structured event trace (packet lifecycle, routing \
+               control, MAC, faults) to $(docv) as JSONL, one record per \
+               line. Same seed, same bytes.")
+    and+ sample_every =
+      Arg.(
+        value & opt float 0.0
+        & info [ "sample-every" ]
+            ~doc:
+              "With --trace-file: also sample whole-network gauges (route \
+               tables, pending buffers, MAC queues, engine liveness) every \
+               $(docv) simulated seconds.")
+    and+ json_file =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "json" ]
+            ~doc:"Write the run's config and metrics to $(docv) as JSON.")
     in
-    let result = Sim.Runner.run { config with protocol } in
-    Format.printf "%a" Sim.Report.run result
+    let config = { config with Sim.Config.protocol } in
+    let trace_oc = Option.map open_out trace_file in
+    let trace =
+      match trace_oc with
+      | Some oc -> Trace.jsonl ~clock:(fun () -> 0.0) oc
+      | None -> Trace.null
+    in
+    let started = Unix.gettimeofday () in
+    let result = Sim.Runner.run ~trace ~sample_every config in
+    let wall = Unix.gettimeofday () -. started in
+    Option.iter close_out trace_oc;
+    Format.printf "%a" Sim.Report.run result;
+    (* engine stats go to stderr: stdout stays byte-identical across
+       traced/untraced runs of the same seed *)
+    Format.eprintf "engine: %d events in %.2f s wall (%.0f events/s)@."
+      result.Sim.Metrics.engine_events wall
+      (if wall > 0.0 then float_of_int result.Sim.Metrics.engine_events /. wall
+       else 0.0);
+    Option.iter
+      (fun path -> write_json path (Sim.Report.run_json config result))
+      json_file
   in
   Cmd.v (Cmd.info "run" ~doc) term
 
@@ -154,6 +202,14 @@ let campaign_cmd =
       Arg.(value & opt int 3 & info [ "trials" ] ~doc:"Trials per point.")
     and+ quiet =
       Arg.(value & flag & info [ "quiet"; "q" ] ~doc:"Suppress progress.")
+    and+ json_file =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "json" ]
+            ~doc:
+              "Write the campaign (per-cell metric summaries over the \
+               protocol and pause axes) to $(docv) as JSON.")
     in
     let progress = if quiet then fun _ -> () else prerr_endline in
     let pause_scale = Stdlib.min 1.0 (config.Sim.Config.duration /. 900.0) in
@@ -162,7 +218,10 @@ let campaign_cmd =
         ~protocols:Sim.Config.all_protocols
         ~pauses:Sim.Config.paper_pause_times ~trials ~progress
     in
-    Format.printf "%a@." Sim.Report.all campaign
+    Format.printf "%a@." Sim.Report.all campaign;
+    Option.iter
+      (fun path -> write_json path (Sim.Report.campaign_json campaign))
+      json_file
   in
   Cmd.v (Cmd.info "campaign" ~doc) term
 
@@ -200,6 +259,151 @@ let check_cmd =
   in
   Cmd.v (Cmd.info "check" ~doc) term
 
+(* --------------------------------------------------------------------- *)
+(* trace: flight recorder and JSON validator over emitted files           *)
+
+let read_lines path =
+  let ic = open_in path in
+  let rec loop acc =
+    match input_line ic with
+    | line -> loop (if String.trim line = "" then acc else line :: acc)
+    | exception End_of_file ->
+        close_in ic;
+        List.rev acc
+  in
+  loop []
+
+let parse_follow s =
+  match String.index_opt s ':' with
+  | None -> (
+      match int_of_string_opt s with
+      | Some flow -> Ok (flow, None)
+      | None -> Error (`Msg (Printf.sprintf "bad flow spec %S" s)))
+  | Some i -> (
+      let flow = String.sub s 0 i in
+      let seq = String.sub s (i + 1) (String.length s - i - 1) in
+      match (int_of_string_opt flow, int_of_string_opt seq) with
+      | Some flow, Some seq -> Ok (flow, Some seq)
+      | _ -> Error (`Msg (Printf.sprintf "bad flow spec %S" s)))
+
+let follow_conv =
+  Arg.conv
+    ( parse_follow,
+      fun ppf (flow, seq) ->
+        match seq with
+        | None -> Format.fprintf ppf "%d" flow
+        | Some s -> Format.fprintf ppf "%d:%d" flow s )
+
+(* A record is on the packet's flight path when its flow (and, if given,
+   seq) members match. Gauge/fault/MAC records carry no flow and never
+   match. *)
+let record_matches ~flow ~seq json =
+  let module J = Trace.Json in
+  let int_member name =
+    match J.member name json with Some (J.Int i) -> Some i | _ -> None
+  in
+  int_member "flow" = Some flow
+  && match seq with None -> true | Some s -> int_member "seq" = Some s
+
+let pp_trace_record ppf json =
+  let module J = Trace.Json in
+  let num = function
+    | J.Int i -> string_of_int i
+    | J.Float f -> J.float_str f
+    | J.String s -> s
+    | j -> J.to_string j
+  in
+  let t = match J.member "t" json with Some j -> num j | None -> "?" in
+  let node = match J.member "node" json with Some j -> num j | None -> "?" in
+  let ev = match J.member "ev" json with Some j -> num j | None -> "?" in
+  Format.fprintf ppf "%10s  node %4s  %-13s" t node ev;
+  (match json with
+  | J.Obj members ->
+      List.iter
+        (fun (k, v) ->
+          if k <> "t" && k <> "node" && k <> "ev" then
+            Format.fprintf ppf " %s=%s" k (num v))
+        members
+  | _ -> ());
+  Format.fprintf ppf "@."
+
+let trace_cmd =
+  let doc =
+    "Inspect emitted telemetry: replay one packet's hop-by-hop path from a \
+     JSONL trace (--follow), or validate that a JSON/JSONL file parses and \
+     holds required keys (--validate, for CI)."
+  in
+  let term =
+    let open Term.Syntax in
+    let+ file =
+      Arg.(
+        required
+        & pos 0 (some string) None
+        & info [] ~docv:"FILE" ~doc:"Trace (JSONL) or JSON file to read.")
+    and+ follow =
+      Arg.(
+        value
+        & opt (some follow_conv) None
+        & info [ "follow" ] ~docv:"FLOW[:SEQ]"
+            ~doc:
+              "Flight recorder: print every record of the given flow (and \
+               packet, when :SEQ is given) in emission order — originate, \
+               MAC enqueue/tx/rx, forwards, and the final deliver or drop.")
+    and+ validate =
+      Arg.(
+        value & flag
+        & info [ "validate" ]
+            ~doc:
+              "Parse $(i,FILE) (JSONL when it has multiple lines, plain \
+               JSON otherwise) and fail loudly on any malformed record.")
+    and+ require =
+      Arg.(
+        value & opt_all string []
+        & info [ "require" ] ~docv:"PATH"
+            ~doc:
+              "With --validate: dot-separated member path that must be \
+               present (e.g. result.delivery_ratio). Repeatable.")
+    in
+    let lines = read_lines file in
+    let parsed =
+      List.mapi
+        (fun i line ->
+          match Trace.Json.parse line with
+          | Ok json -> (i + 1, json)
+          | Error msg ->
+              Format.eprintf "%s:%d: %s@." file (i + 1) msg;
+              exit 1)
+        lines
+    in
+    match follow with
+    | Some (flow, seq) ->
+        let hits =
+          List.filter (fun (_, j) -> record_matches ~flow ~seq j) parsed
+        in
+        List.iter (fun (_, j) -> pp_trace_record Format.std_formatter j) hits;
+        Format.printf "%d records@." (List.length hits)
+    | None ->
+        if not validate then
+          Format.printf "%d records parsed (use --follow or --validate)@."
+            (List.length parsed)
+        else begin
+          List.iter
+            (fun path ->
+              let found =
+                List.for_all
+                  (fun (_, j) -> Trace.Json.path path j <> None)
+                  parsed
+              in
+              if parsed = [] || not found then begin
+                Format.eprintf "%s: required path %S missing@." file path;
+                exit 1
+              end)
+            require;
+          Format.printf "%s: OK (%d records)@." file (List.length parsed)
+        end
+  in
+  Cmd.v (Cmd.info "trace" ~doc) term
+
 let labels_cmd =
   let doc = "Show SLR label arithmetic: mediants, splits, the 45-split bound." in
   let show () =
@@ -226,4 +430,7 @@ let () =
      Networks' (ICDCS 2004)."
   in
   let info = Cmd.info "manet_sim" ~doc ~version:"1.0.0" in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; campaign_cmd; check_cmd; labels_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; campaign_cmd; check_cmd; trace_cmd; labels_cmd ]))

@@ -12,6 +12,7 @@ type stats = {
 type t = {
   engine : Des.Engine.t;
   rng : Des.Rng.t;
+  trace : Trace.t;
   on_crash : int -> unit;
   on_restart : int -> unit;
   (* down-counters rather than flags: overlapping events nest correctly *)
@@ -32,7 +33,23 @@ type t = {
 
 let link_key a b = if a < b then (a, b) else (b, a)
 
+let trace_event t (ev : Spec.event) =
+  if Trace.enabled t.trace then
+    let kind, a, b =
+      match ev with
+      | Spec.Link_down { la; lb } -> ("link-down", la, lb)
+      | Spec.Link_up { la; lb } -> ("link-up", la, lb)
+      | Spec.Crash { node } -> ("crash", node, -1)
+      | Spec.Restart { node } -> ("restart", node, -1)
+      | Spec.Partition_start { id; _ } -> ("partition-start", id, -1)
+      | Spec.Partition_heal { id } -> ("partition-heal", id, -1)
+      | Spec.Burst_start { id; _ } -> ("burst-start", id, -1)
+      | Spec.Burst_end { id } -> ("burst-end", id, -1)
+    in
+    Trace.fault t.trace ~kind ~a ~b
+
 let apply t (ev : Spec.event) =
+  trace_event t ev;
   match ev with
   | Spec.Link_down { la; lb } ->
       let key = link_key la lb in
@@ -69,11 +86,12 @@ let apply t (ev : Spec.event) =
   | Spec.Burst_end { id } ->
       t.active_bursts <- List.filter (fun (i, _) -> i <> id) t.active_bursts
 
-let create engine ~nodes ~rng ~plan ~on_crash ~on_restart =
+let create ?(trace = Trace.null) engine ~nodes ~rng ~plan ~on_crash ~on_restart =
   let t =
     {
       engine;
       rng;
+      trace;
       on_crash;
       on_restart;
       node_down = Array.make nodes 0;

@@ -23,8 +23,10 @@ type stats = {
 (** [create engine ~nodes ~rng ~plan ~on_crash ~on_restart] schedules every
     event of [plan] that is not already in the past. [rng] drives only the
     per-frame loss-burst draws. [on_crash i] fires when node [i] goes down,
-    [on_restart i] when it comes back. *)
+    [on_restart i] when it comes back. Each applied event is also reported
+    to [trace] as a fault record. *)
 val create :
+  ?trace:Trace.t ->
   Des.Engine.t ->
   nodes:int ->
   rng:Des.Rng.t ->

@@ -122,7 +122,14 @@ let update_route t ~dst ~seqno ~hops ~next_hop =
   better
 
 let control_frame t ~dst ~size ~payload =
-  Frame.make ~src:t.ctx.Routing_intf.id ~dst ~size ~payload
+  let kind =
+    match payload with
+    | Rreq _ -> "rreq"
+    | Rrep _ -> "rrep"
+    | Rerr _ -> "rerr"
+    | _ -> "ctl"
+  in
+  Frame.with_kind (Frame.make ~src:t.ctx.Routing_intf.id ~dst ~size ~payload) kind
 
 let send_rerr t ~entries ~to_ =
   if entries <> [] then
@@ -146,6 +153,8 @@ let forward_data t data ~size =
       end
       else begin
         refresh t r;
+        Trace.pkt_forward t.ctx.Routing_intf.trace ~node:t.ctx.Routing_intf.id
+          ~flow:data.Frame.flow ~seq:data.Frame.seq ~next:r.next_hop;
         t.ctx.Routing_intf.mac_send (data_frame t ~next_hop:r.next_hop data ~size);
         true
       end
@@ -367,10 +376,18 @@ let receive t ~src frame =
   | _ -> ()
 
 let gauges t =
+  let time = now t in
+  let route_entries =
+    Hashtbl.fold
+      (fun _ r acc -> if r.valid && r.expiry > time then acc + 1 else acc)
+      t.routes 0
+  in
   {
     Routing_intf.own_seqno = t.self_seqno;
     max_denominator = 0;
     seqno_resets = 0;
+    route_entries;
+    pending_packets = Pending.total t.pending;
   }
 
 let create_full ?(config = default_config) ctx =

@@ -168,8 +168,17 @@ let control_size t ~hops =
   t.config.base_control_size + (t.config.per_hop_bytes * hops)
 
 let send_control t ~dst ~size ~payload =
+  let kind =
+    match payload with
+    | Rreq _ -> "rreq"
+    | Rrep _ -> "rrep"
+    | Rerr _ -> "rerr"
+    | _ -> "ctl"
+  in
   t.ctx.Routing_intf.mac_send
-    (Frame.make ~src:t.ctx.Routing_intf.id ~dst ~size ~payload)
+    (Frame.with_kind
+       (Frame.make ~src:t.ctx.Routing_intf.id ~dst ~size ~payload)
+       kind)
 
 let data_size t ~payload_size ~route_len =
   payload_size + t.config.ip_overhead + 4
@@ -181,6 +190,8 @@ let send_data t ~next_hop dsr ~payload_size =
       ~size:(data_size t ~payload_size ~route_len:(List.length dsr.dd_route))
       ~payload:(Dsr_data dsr)
   in
+  Trace.pkt_forward t.ctx.Routing_intf.trace ~node:t.ctx.Routing_intf.id
+    ~flow:dsr.dd_data.Frame.flow ~seq:dsr.dd_data.Frame.seq ~next:next_hop;
   t.ctx.Routing_intf.mac_send (Frame.with_cls frame Frame.Data_frame)
 
 (* Launch a data packet along [route] (which starts at this node). *)
@@ -388,6 +399,13 @@ let unicast_failed t ~frame ~dst:next_hop =
       end
   | _ -> ()
 
+let gauges t =
+  {
+    Routing_intf.no_gauges with
+    Routing_intf.route_entries = cache_size t;
+    pending_packets = Pending.total t.pending;
+  }
+
 let receive t ~src frame =
   match frame.Frame.payload with
   | Rreq rreq -> handle_rreq t ~from:src rreq
@@ -432,7 +450,7 @@ let create_full ?(config = default_config) ctx =
       receive = receive t;
       unicast_failed = unicast_failed t;
       unicast_ok = (fun ~frame:_ ~dst:_ -> ());
-      gauges = (fun () -> Routing_intf.no_gauges);
+      gauges = (fun () -> gauges t);
     } )
 
 let create ?config ctx = snd (create_full ?config ctx)

@@ -172,8 +172,10 @@ let send_hello t =
     t.config.hello_base_size + (t.config.per_entry_bytes * List.length links)
   in
   t.ctx.Routing_intf.mac_send
-    (Frame.make ~src:t.ctx.Routing_intf.id ~dst:Frame.Broadcast ~size
-       ~payload:(Hello { h_origin = t.ctx.Routing_intf.id; h_links = links }))
+    (Frame.with_kind
+       (Frame.make ~src:t.ctx.Routing_intf.id ~dst:Frame.Broadcast ~size
+          ~payload:(Hello { h_origin = t.ctx.Routing_intf.id; h_links = links }))
+       "hello")
 
 let selector_set t =
   let time = now t in
@@ -191,14 +193,16 @@ let send_tc t =
       + (t.config.per_entry_bytes * List.length advertised)
     in
     t.ctx.Routing_intf.mac_send
-      (Frame.make ~src:t.ctx.Routing_intf.id ~dst:Frame.Broadcast ~size
-         ~payload:
-           (Tc
-              {
-                t_origin = t.ctx.Routing_intf.id;
-                t_ansn = t.ansn;
-                t_advertised = advertised;
-              }))
+      (Frame.with_kind
+         (Frame.make ~src:t.ctx.Routing_intf.id ~dst:Frame.Broadcast ~size
+            ~payload:
+              (Tc
+                 {
+                   t_origin = t.ctx.Routing_intf.id;
+                   t_ansn = t.ansn;
+                   t_advertised = advertised;
+                 }))
+         "tc")
   end
 
 let neighbor_for t id =
@@ -264,8 +268,10 @@ let handle_tc t ~from tc =
       ignore
         (Des.Engine.schedule t.ctx.Routing_intf.engine ~delay (fun () ->
              t.ctx.Routing_intf.mac_send
-               (Frame.make ~src:me ~dst:Frame.Broadcast ~size
-                  ~payload:(Tc tc))))
+               (Frame.with_kind
+                  (Frame.make ~src:me ~dst:Frame.Broadcast ~size
+                     ~payload:(Tc tc))
+                  "tc")))
     end
   end
 
@@ -282,6 +288,8 @@ let forward_data t data ~size =
         true
       end
       else begin
+        Trace.pkt_forward t.ctx.Routing_intf.trace ~node:t.ctx.Routing_intf.id
+          ~flow:data.Frame.flow ~seq:data.Frame.seq ~next:hop;
         t.ctx.Routing_intf.mac_send
           (Frame.make ~src:t.ctx.Routing_intf.id ~dst:(Frame.Unicast hop)
              ~size:(size + t.config.ip_overhead)
@@ -358,7 +366,13 @@ let create_full ?(config = default_config) ctx =
       (* no link-layer integration: links die only by HELLO timeout *)
       unicast_failed = (fun ~frame:_ ~dst:_ -> ());
       unicast_ok = (fun ~frame:_ ~dst:_ -> ());
-      gauges = (fun () -> Routing_intf.no_gauges);
+      gauges =
+        (fun () ->
+          (* last computed table; recomputing here would hide staleness *)
+          {
+            Routing_intf.no_gauges with
+            Routing_intf.route_entries = Hashtbl.length t.routes;
+          });
     } )
 
 let create ?config ctx = snd (create_full ?config ctx)

@@ -100,3 +100,5 @@ let count t ~dst =
   | Some q ->
       drop_expired t q ~time:(now t);
       Queue.length q
+
+let total t = Hashtbl.fold (fun _ q acc -> acc + Queue.length q) t.queues 0

@@ -31,3 +31,7 @@ val take_all : t -> dst:int -> (Wireless.Frame.data * int) list
 val drop_all : t -> dst:int -> reason:string -> unit
 
 val count : t -> dst:int -> int
+
+(** Total buffered packets across all destinations. Read-only (no expiry
+    sweep), so it is safe to call from gauge sampling. *)
+val total : t -> int

@@ -10,6 +10,8 @@ type ctx = {
   node_count : int;
   engine : Des.Engine.t;
   rng : Des.Rng.t;
+  trace : Trace.t;
+      (** structured telemetry sink; {!Trace.null} when tracing is off *)
   mac_send : Wireless.Frame.t -> unit;
   deliver : Wireless.Frame.data -> unit;
       (** call when a data packet reaches its final destination *)
@@ -17,14 +19,19 @@ type ctx = {
       (** call when the routing layer gives up on a data packet *)
 }
 
-(** Protocol-specific gauges sampled at the end of a run. [own_seqno] feeds
-    Fig. 7 (zero-based: subtract the protocol's initial value, as the paper
-    does for SRP). [max_denominator] and [seqno_resets] apply to SRP only
-    and are 0 elsewhere. *)
+(** Protocol-specific gauges, sampled at the end of a run and periodically
+    by the gauge time series. [own_seqno] feeds Fig. 7 (zero-based:
+    subtract the protocol's initial value, as the paper does for SRP).
+    [max_denominator] and [seqno_resets] apply to SRP only and are 0
+    elsewhere. [route_entries] counts currently usable routes and
+    [pending_packets] data packets parked awaiting discovery; sampling
+    either must not mutate protocol state. *)
 type gauges = {
   own_seqno : int;
   max_denominator : int;
   seqno_resets : int;
+  route_entries : int;
+  pending_packets : int;
 }
 
 type agent = {
@@ -39,4 +46,11 @@ type agent = {
   gauges : unit -> gauges;
 }
 
-let no_gauges = { own_seqno = 0; max_denominator = 0; seqno_resets = 0 }
+let no_gauges =
+  {
+    own_seqno = 0;
+    max_denominator = 0;
+    seqno_resets = 0;
+    route_entries = 0;
+    pending_packets = 0;
+  }

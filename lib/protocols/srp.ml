@@ -227,7 +227,15 @@ let lie_about t order =
   end
 
 let control_frame t ~dst ~size ~payload =
-  Frame.make ~src:t.ctx.Routing_intf.id ~dst ~size ~payload
+  let kind =
+    match payload with
+    | Rreq _ -> "rreq"
+    | Rrep _ -> "rrep"
+    | Rerr _ -> "rerr"
+    | Rack _ -> "rack"
+    | _ -> "ctl"
+  in
+  Frame.with_kind (Frame.make ~src:t.ctx.Routing_intf.id ~dst ~size ~payload) kind
 
 let send_rerr t ~dsts ~to_ =
   if dsts <> [] then
@@ -245,6 +253,8 @@ let drop_link t neighbor =
       if Hashtbl.mem r.succs neighbor then begin
         Hashtbl.remove r.succs neighbor;
         changed := dst :: !changed;
+        Trace.route_del t.ctx.Routing_intf.trace ~node:t.ctx.Routing_intf.id
+          ~dst ~via:neighbor ~reason:"link lost";
         if Hashtbl.length r.succs = 0 then lost := dst :: !lost
       end)
     t.routes;
@@ -290,6 +300,8 @@ let forward_data t data ~size =
                   Stdlib.max s.s_expiry (now t +. t.config.route_lifetime)
             | None -> ())
         | None -> ());
+        Trace.pkt_forward t.ctx.Routing_intf.trace ~node:t.ctx.Routing_intf.id
+          ~flow:data.Frame.flow ~seq:data.Frame.seq ~next:next_hop;
         t.ctx.Routing_intf.mac_send (data_frame t ~next_hop data ~size);
         true
       end
@@ -390,6 +402,15 @@ let set_route t ~dst ~via ~adv_order ~adv_dist ~cached ~lifetime =
       retain_label t r;
       if g.Ordering.frac.Fraction.den > t.max_denom_seen then
         t.max_denom_seen <- g.Ordering.frac.Fraction.den;
+      let trace = t.ctx.Routing_intf.trace in
+      let me = t.ctx.Routing_intf.id in
+      Trace.route_add trace ~node:me ~dst ~via ~dist:(adv_dist + 1);
+      (match result.New_order.case with
+      | New_order.Fresher_split | New_order.Equal_split ->
+          Trace.label_split trace ~node:me ~dst ~sn:g.Ordering.sn
+            ~num:g.Ordering.frac.Fraction.num ~den:g.Ordering.frac.Fraction.den
+      | New_order.Infinite | New_order.Fresher_next | New_order.Keep_current ->
+          ());
       let entry =
         {
           s_order = adv_order;
@@ -405,7 +426,11 @@ let set_route t ~dst ~via ~adv_order ~adv_dist ~cached ~lifetime =
             if Ordering.precedes g s.s_order then acc else b :: acc)
           r.succs []
       in
-      List.iter (Hashtbl.remove r.succs) stale;
+      List.iter
+        (fun b ->
+          Hashtbl.remove r.succs b;
+          Trace.route_del trace ~node:me ~dst ~via:b ~reason:"out of order")
+        stale;
       t.listener dst;
       Adopted
     end
@@ -470,11 +495,15 @@ let destination_reply t rreq ~last_hop =
      ever performs). *)
   if rreq.rq_order.Ordering.sn > t.self_seqno then begin
     t.self_seqno <- rreq.rq_order.Ordering.sn;
-    t.resets <- t.resets + 1
+    t.resets <- t.resets + 1;
+    Trace.seqno_reset t.ctx.Routing_intf.trace ~node:t.ctx.Routing_intf.id
+      ~seqno:t.self_seqno
   end;
   if rreq.rq_rr then begin
     t.self_seqno <- t.self_seqno + 1;
-    t.resets <- t.resets + 1
+    t.resets <- t.resets + 1;
+    Trace.seqno_reset t.ctx.Routing_intf.trace ~node:t.ctx.Routing_intf.id
+      ~seqno:t.self_seqno
   end;
   let rrep =
     {
@@ -648,6 +677,8 @@ let handle_rrep t ~from rrep =
                numbers stay identically zero (Fig. 7). *)
             t.self_seqno <- t.self_seqno + 1;
             t.resets <- t.resets + 1;
+            Trace.seqno_reset t.ctx.Routing_intf.trace
+              ~node:t.ctx.Routing_intf.id ~seqno:t.self_seqno;
             send_probe t ~dst:rrep.rp_dst
           end
           else if needs_reset then send_probe t ~dst:rrep.rp_dst
@@ -703,6 +734,8 @@ let handle_rerr t ~from rerr =
       | Some r ->
           if Hashtbl.mem r.succs from then begin
             Hashtbl.remove r.succs from;
+            Trace.route_del t.ctx.Routing_intf.trace
+              ~node:t.ctx.Routing_intf.id ~dst ~via:from ~reason:"rerr";
             prune_succs t r;
             t.listener dst;
             if
@@ -754,10 +787,26 @@ let unicast_failed t ~frame ~dst:next_hop =
   | _ -> ()
 
 let gauges t =
+  (* non-mutating: counts live successor sets without the pruning sweeps,
+     so periodic sampling cannot perturb protocol behaviour *)
+  let time = Des.Engine.now t.ctx.Routing_intf.engine in
+  let route_entries =
+    Hashtbl.fold
+      (fun _ r acc ->
+        let live =
+          Hashtbl.fold
+            (fun _ s any -> any || s.s_expiry > time)
+            r.succs false
+        in
+        if live then acc + 1 else acc)
+      t.routes 0
+  in
   {
     Routing_intf.own_seqno = t.self_seqno - 1;
     max_denominator = t.max_denom_seen;
     seqno_resets = t.resets;
+    route_entries;
+    pending_packets = Pending.total t.pending;
   }
 
 let receive t ~src frame =

@@ -71,6 +71,29 @@ let small =
 
 let paper_pause_times = [ 0.0; 50.0; 100.0; 200.0; 300.0; 500.0; 700.0; 900.0 ]
 
+let to_json (t : t) =
+  let module J = Trace.Json in
+  J.Obj
+    [
+      ("protocol", J.String (protocol_name t.protocol));
+      ("nodes", J.Int t.nodes);
+      ("terrain_width", J.Float t.terrain.Wireless.Terrain.width);
+      ("terrain_height", J.Float t.terrain.Wireless.Terrain.height);
+      ("radio_range", J.Float t.radio.Wireless.Radio.range);
+      ("radio_bitrate", J.Float t.radio.Wireless.Radio.bitrate);
+      ("pause", J.Float t.pause);
+      ("speed_min", J.Float t.speed_min);
+      ("speed_max", J.Float t.speed_max);
+      ("duration", J.Float t.duration);
+      ("traffic_start", J.Float t.traffic_start);
+      ("flows", J.Int t.flows);
+      ("flow_mean_duration", J.Float t.flow_mean_duration);
+      ("packet_rate", J.Float t.packet_rate);
+      ("packet_size", J.Int t.packet_size);
+      ("seed", J.Int t.seed);
+      ("faults", J.Bool (not (Faults.Spec.is_none t.faults)));
+    ]
+
 let with_protocol t protocol = { t with protocol }
 
 let with_pause t pause = { t with pause }

@@ -55,6 +55,11 @@ val small : t
 (** The paper's eight pause times (0 = constant mobility, 900 = static). *)
 val paper_pause_times : float list
 
+(** Scalar scenario parameters as a flat JSON object (protocol tuning
+    records are omitted; [faults] reduces to whether a plan is present).
+    Embedded in every [--json] export so a result file is self-describing. *)
+val to_json : t -> Trace.Json.t
+
 val with_protocol : t -> protocol -> t
 
 val with_pause : t -> float -> t

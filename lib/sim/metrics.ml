@@ -65,10 +65,12 @@ type result = {
   recoveries : int;
   recovery_mean : float;
   recovery_max : float;
+  engine_events : int;
 }
 
 let finalize (t : t) ~control_tx ~data_tx ~drop_queue_full ~drop_retry
-    ~mac_drops ~collisions ~nodes ~gauges ~fault_events ~fault_frames_blocked =
+    ~mac_drops ~collisions ~nodes ~gauges ~fault_events ~fault_frames_blocked
+    ~engine_events =
   let seqnos =
     List.map (fun g -> g.Protocols.Routing_intf.own_seqno) gauges
   in
@@ -116,7 +118,37 @@ let finalize (t : t) ~control_tx ~data_tx ~drop_queue_full ~drop_retry
     recovery_max =
       (if Stats.Summary.count t.recovery = 0 then 0.0
        else Stats.Summary.max t.recovery);
+    engine_events;
   }
+
+let result_json (r : result) =
+  let module J = Trace.Json in
+  J.Obj
+    [
+      ("sent", J.Int r.sent);
+      ("delivered", J.Int r.delivered);
+      ("delivery_ratio", J.Float r.delivery_ratio);
+      ("control_tx", J.Int r.control_tx);
+      ("network_load", J.Float r.network_load);
+      ("latency", J.Float r.latency);
+      ("mac_drops_per_node", J.Float r.mac_drops_per_node);
+      ("collisions", J.Int r.collisions);
+      ("data_tx", J.Int r.data_tx);
+      ("drop_queue_full", J.Int r.drop_queue_full);
+      ("drop_retry", J.Int r.drop_retry);
+      ("avg_seqno", J.Float r.avg_seqno);
+      ("max_seqno", J.Int r.max_seqno);
+      ("seqno_resets", J.Int r.seqno_resets);
+      ("max_denominator", J.Int r.max_denominator);
+      ( "drop_reasons",
+        J.Obj (List.map (fun (k, v) -> (k, J.Int v)) r.drop_reasons) );
+      ("fault_events", J.Int r.fault_events);
+      ("fault_frames_blocked", J.Int r.fault_frames_blocked);
+      ("recoveries", J.Int r.recoveries);
+      ("recovery_mean", J.Float r.recovery_mean);
+      ("recovery_max", J.Float r.recovery_max);
+      ("engine_events", J.Int r.engine_events);
+    ]
 
 let pp_result ppf r =
   Format.fprintf ppf

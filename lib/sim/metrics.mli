@@ -43,6 +43,7 @@ type result = {
   recoveries : int;  (** closed per-flow outage windows *)
   recovery_mean : float;  (** mean seconds from first drop to next delivery *)
   recovery_max : float;
+  engine_events : int;  (** DES events executed over the whole run *)
 }
 
 (** [finalize t ~control_tx ~mac_drops ~collisions ~nodes ~gauges] closes
@@ -59,6 +60,11 @@ val finalize :
   gauges:Protocols.Routing_intf.gauges list ->
   fault_events:int ->
   fault_frames_blocked:int ->
+  engine_events:int ->
   result
 
 val pp_result : Format.formatter -> result -> unit
+
+(** Machine-readable form of a result: a flat JSON object, one member per
+    field, with deterministic member order and number formatting. *)
+val result_json : result -> Trace.Json.t

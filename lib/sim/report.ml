@@ -5,13 +5,15 @@ let run ppf (r : Metrics.result) =
   List.iter
     (fun (reason, count) -> Format.fprintf ppf "  drop[%s] = %d@." reason count)
     r.Metrics.drop_reasons;
-  if r.Metrics.fault_events > 0 then begin
+  if r.Metrics.fault_events > 0 then
     Format.fprintf ppf "faults: %d events injected, %d frames blocked@."
       r.Metrics.fault_events r.Metrics.fault_frames_blocked;
+  (* outages also open and heal on clean runs (mobility breaks routes), so
+     the recovery line is keyed on recoveries, not on injected faults *)
+  if r.Metrics.recoveries > 0 then
     Format.fprintf ppf
       "route recovery: %d outages healed, mean %.3f s, max %.3f s@."
       r.Metrics.recoveries r.Metrics.recovery_mean r.Metrics.recovery_max
-  end
 
 let pp_summary ppf s =
   Format.fprintf ppf "%7.3f ±%6.3f" (Stats.Summary.mean s)
@@ -92,6 +94,61 @@ let fig7 ppf t =
        stayed under 840 million; 32-bit bound is %d)@."
       max_denom Slr.Fraction.bound
   end
+
+(* Machine-readable campaign export: every (protocol, pause) cell with the
+   per-metric summaries that the text figures print, plus the scenario. *)
+let campaign_json (t : Experiment.t) =
+  let module J = Trace.Json in
+  let summary s =
+    J.Obj
+      [
+        ("mean", J.Float (Stats.Summary.mean s));
+        ("ci95", J.Float (Stats.Summary.ci95 s));
+        ("count", J.Int (Stats.Summary.count s));
+      ]
+  in
+  let cells =
+    List.concat_map
+      (fun protocol ->
+        List.map
+          (fun pause ->
+            let c = Experiment.cell t protocol pause in
+            J.Obj
+              [
+                ("protocol", J.String (Config.protocol_name protocol));
+                ("pause", J.Float pause);
+                ("delivery_ratio", summary c.Experiment.delivery);
+                ("network_load", summary c.Experiment.load);
+                ("latency", summary c.Experiment.latency);
+                ("mac_drops_per_node", summary c.Experiment.mac_drops);
+                ("avg_seqno", summary c.Experiment.seqno);
+                ("max_denominator", J.Int c.Experiment.max_denominator);
+              ])
+          t.Experiment.pauses)
+      t.Experiment.protocols
+  in
+  J.Obj
+    [
+      ("schema", J.String "manet-sim/campaign-v1");
+      ("config", Config.to_json t.Experiment.base);
+      ( "protocols",
+        J.List
+          (List.map
+             (fun p -> J.String (Config.protocol_name p))
+             t.Experiment.protocols) );
+      ("pauses", J.List (List.map (fun p -> J.Float p) t.Experiment.pauses));
+      ("trials", J.Int t.Experiment.trials);
+      ("cells", J.List cells);
+    ]
+
+let run_json config (r : Metrics.result) =
+  let module J = Trace.Json in
+  J.Obj
+    [
+      ("schema", J.String "manet-sim/run-v1");
+      ("config", Config.to_json config);
+      ("result", Metrics.result_json r);
+    ]
 
 let all ppf t =
   table1 ppf t;

@@ -25,7 +25,17 @@ val fig7 : Format.formatter -> Experiment.t -> unit
 val all : Format.formatter -> Experiment.t -> unit
 
 (** Single-run report: the paper metrics line, per-reason routing drops,
-    and — when faults were injected — fault-event and route-recovery lines.
-    The rendering is deterministic for a given result; the determinism test
-    compares two same-seed faulted runs through it byte for byte. *)
+    a fault-event line when faults were injected, and a route-recovery line
+    whenever any outage healed (clean runs included — mobility alone breaks
+    and restores routes). The rendering is deterministic for a given result;
+    the determinism test compares two same-seed faulted runs through it byte
+    for byte. *)
 val run : Format.formatter -> Metrics.result -> unit
+
+(** [run_json config r] is the machine-readable single-run envelope
+    [{"schema":"manet-sim/run-v1","config":…,"result":…}]. *)
+val run_json : Config.t -> Metrics.result -> Trace.Json.t
+
+(** Whole-campaign export, [manet-sim/campaign-v1]: scenario, protocol and
+    pause axes, and per-cell metric summaries (mean / 95% CI / count). *)
+val campaign_json : Experiment.t -> Trace.Json.t

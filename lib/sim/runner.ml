@@ -21,8 +21,10 @@ let dead_agent drop =
   }
 
 let run_custom_detailed ?(on_faults = fun (_ : Faults.Injector.t) -> ())
-    (config : Config.t) ~build ~on_start =
+    ?(trace = Trace.null) ?(sample_every = 0.0) (config : Config.t) ~build
+    ~on_start =
   let engine = Des.Engine.create () in
+  Trace.set_clock trace (fun () -> Des.Engine.now engine);
   let root = Des.Rng.create (Int64.of_int config.seed) in
   (* protocol-independent substreams: identical across protocols *)
   let mobility_rng = Des.Rng.split root "mobility" in
@@ -36,7 +38,7 @@ let run_custom_detailed ?(on_faults = fun (_ : Faults.Injector.t) -> ())
   in
   let position i time = Wireless.Waypoint.position scripts.(i) time in
   let channel =
-    Wireless.Channel.create engine ~nodes:config.nodes ~position
+    Wireless.Channel.create ~trace engine ~nodes:config.nodes ~position
       ~range:config.radio.Wireless.Radio.range
       ~cs_range:config.radio.Wireless.Radio.cs_range
   in
@@ -51,7 +53,7 @@ let run_custom_detailed ?(on_faults = fun (_ : Faults.Injector.t) -> ())
   in
   let macs =
     Array.init config.nodes (fun i ->
-        Wireless.Mac80211.create engine config.radio channel ~id:i
+        Wireless.Mac80211.create ~trace engine config.radio channel ~id:i
           ~rng:(Des.Rng.split root (Printf.sprintf "mac-%d" i))
           {
             Wireless.Mac80211.on_receive =
@@ -79,14 +81,26 @@ let run_custom_detailed ?(on_faults = fun (_ : Faults.Injector.t) -> ())
       node_count = config.nodes;
       engine;
       rng = Des.Rng.split root rng_tag;
+      trace;
       mac_send =
         (fun frame -> if live () then Wireless.Mac80211.send macs.(i) frame);
       deliver =
         (fun data ->
-          if live () then
-            Metrics.on_delivered metrics ~now:(Des.Engine.now engine) data);
+          if live () then begin
+            let now = Des.Engine.now engine in
+            Trace.pkt_deliver trace ~node:i ~flow:data.Frame.flow
+              ~seq:data.Frame.seq
+              ~latency:(now -. data.Frame.sent_at)
+              ~hops:data.Frame.hops;
+            Metrics.on_delivered metrics ~now data
+          end);
       drop_data =
-        (fun data ~reason -> if live () then drop_data data ~reason);
+        (fun data ~reason ->
+          if live () then begin
+            Trace.pkt_drop trace ~node:i ~flow:data.Frame.flow
+              ~seq:data.Frame.seq ~reason;
+            drop_data data ~reason
+          end);
     }
   in
   for i = 0 to config.nodes - 1 do
@@ -102,7 +116,7 @@ let run_custom_detailed ?(on_faults = fun (_ : Faults.Injector.t) -> ())
           ~nodes:config.nodes ~duration:config.duration
       in
       let injector =
-        Faults.Injector.create engine ~nodes:config.nodes
+        Faults.Injector.create ~trace engine ~nodes:config.nodes
           ~rng:(Des.Rng.split faults_rng "bursts")
           ~plan
           ~on_crash:(fun i ->
@@ -123,6 +137,19 @@ let run_custom_detailed ?(on_faults = fun (_ : Faults.Injector.t) -> ())
     end
   in
   on_start engine;
+  let live_gauges () =
+    Array.fold_right
+      (fun a acc ->
+        match a with
+        | Some agent -> agent.Protocols.Routing_intf.gauges () :: acc
+        | None -> Protocols.Routing_intf.no_gauges :: acc)
+      agents []
+  in
+  Sampler.start engine ~trace ~every:sample_every ~gauges:live_gauges
+    ~mac_queue:(fun () ->
+      Array.fold_left
+        (fun acc mac -> acc + Wireless.Mac80211.queue_length mac)
+        0 macs);
   let flows =
     Traffic.Cbr.generate ~rng:traffic_rng ~nodes:config.nodes
       ~concurrent:config.flows ~from_time:config.traffic_start
@@ -130,6 +157,8 @@ let run_custom_detailed ?(on_faults = fun (_ : Faults.Injector.t) -> ())
   in
   Traffic.Cbr.schedule engine ~flows ~rate:config.packet_rate
     ~size:config.packet_size ~send:(fun ~src data ~size ->
+      Trace.pkt_originate trace ~node:src ~flow:data.Frame.flow
+        ~seq:data.Frame.seq ~dst:data.Frame.final_dst;
       Metrics.on_sent metrics data;
       (agent src).Protocols.Routing_intf.originate data ~size);
   Des.Engine.run engine ~until:config.duration;
@@ -168,15 +197,18 @@ let run_custom_detailed ?(on_faults = fun (_ : Faults.Injector.t) -> ())
       ~mac_drops
       ~collisions:(Wireless.Channel.collisions channel)
       ~nodes:config.nodes ~gauges ~fault_events ~fault_frames_blocked
+      ~engine_events:(Des.Engine.executed engine)
   in
+  Trace.close trace;
   (result, gauges)
 
-let run_detailed config =
-  run_custom_detailed config
+let run_detailed ?trace ?sample_every config =
+  run_custom_detailed ?trace ?sample_every config
     ~build:(fun _ ctx -> build_agent config ctx)
     ~on_start:(fun _ -> ())
 
-let run_custom ?on_faults config ~build ~on_start =
-  fst (run_custom_detailed ?on_faults config ~build ~on_start)
+let run_custom ?on_faults ?trace ?sample_every config ~build ~on_start =
+  fst (run_custom_detailed ?on_faults ?trace ?sample_every config ~build ~on_start)
 
-let run config = fst (run_detailed config)
+let run ?trace ?sample_every config =
+  fst (run_detailed ?trace ?sample_every config)

@@ -6,12 +6,23 @@
     protocol, so different protocols in the same trial face identical node
     movement and packet demands (the paper's methodology). *)
 
-(** Run one simulation to completion. *)
-val run : Config.t -> Metrics.result
+(** Run one simulation to completion.
+
+    [trace] receives the full structured event stream (packet lifecycle,
+    routing control, MAC, faults); it defaults to {!Trace.null}, in which
+    case every emission site reduces to one branch and the run is
+    behaviourally identical. [sample_every], when positive and tracing is
+    on, arms the periodic {!Sampler} gauge time series at that interval
+    (simulated seconds). The tracer is flushed ({!Trace.close}) before the
+    result is returned. *)
+val run : ?trace:Trace.t -> ?sample_every:float -> Config.t -> Metrics.result
 
 (** Like {!run} but also exposes the per-node agent gauges (for tests). *)
 val run_detailed :
-  Config.t -> Metrics.result * Protocols.Routing_intf.gauges list
+  ?trace:Trace.t ->
+  ?sample_every:float ->
+  Config.t ->
+  Metrics.result * Protocols.Routing_intf.gauges list
 
 (** [run_custom config ~build ~on_start] runs with caller-supplied agents
     ([build node_id ctx]) and a hook invoked with the engine before the
@@ -28,6 +39,8 @@ val run_detailed :
     queries. It is never called on fault-free runs. *)
 val run_custom :
   ?on_faults:(Faults.Injector.t -> unit) ->
+  ?trace:Trace.t ->
+  ?sample_every:float ->
   Config.t ->
   build:(int -> Protocols.Routing_intf.ctx -> Protocols.Routing_intf.agent) ->
   on_start:(Des.Engine.t -> unit) ->

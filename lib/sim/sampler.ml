@@ -1,0 +1,24 @@
+let start engine ~trace ~every ~gauges ~mac_queue =
+  if Trace.enabled trace && every > 0.0 then begin
+    let prev_executed = ref (Des.Engine.executed engine) in
+    let rec tick () =
+      let totals = gauges () in
+      let routes, pending =
+        List.fold_left
+          (fun (r, p) g ->
+            ( r + g.Protocols.Routing_intf.route_entries,
+              p + g.Protocols.Routing_intf.pending_packets ))
+          (0, 0) totals
+      in
+      let executed = Des.Engine.executed engine in
+      let events_per_sec =
+        float_of_int (executed - !prev_executed) /. every
+      in
+      prev_executed := executed;
+      Trace.gauge trace ~routes ~pending ~mac_queue:(mac_queue ())
+        ~live_events:(Des.Engine.pending engine)
+        ~executed ~events_per_sec;
+      ignore (Des.Engine.schedule engine ~delay:every tick)
+    in
+    ignore (Des.Engine.schedule engine ~delay:every tick)
+  end

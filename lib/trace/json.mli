@@ -1,0 +1,35 @@
+(** Minimal JSON tree, encoder and parser — hand-rolled so the telemetry
+    subsystem adds no external dependency.
+
+    The encoder is deterministic: object members are emitted in the order
+    given, floats are printed with a fixed format, and no whitespace is
+    inserted, so identical values always produce identical bytes (the
+    property the trace-determinism tests rely on). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(** Canonical float rendering: integral values as ["%.1f"], everything
+    else as ["%.12g"]; non-finite values encode as [null]. *)
+val float_str : float -> string
+
+val to_buffer : Buffer.t -> t -> unit
+
+val to_string : t -> string
+
+(** Parse one JSON value; trailing input (other than whitespace) is an
+    error. Numbers without [.], [e] or [E] parse as [Int]. *)
+val parse : string -> (t, string) result
+
+(** [member key json] is the value bound to [key] when [json] is an
+    object containing it. *)
+val member : string -> t -> t option
+
+(** [path "a.b.c" json] walks nested objects along dot-separated keys. *)
+val path : string -> t -> t option

@@ -6,6 +6,7 @@ type reception = {
 
 type 'a t = {
   engine : Des.Engine.t;
+  trace : Trace.t;
   nodes : int;
   position : int -> float -> Vec2.t;
   range : float;
@@ -28,10 +29,11 @@ type 'a t = {
   collision_at : int array;
 }
 
-let create engine ~nodes ~position ~range ~cs_range =
+let create ?(trace = Trace.null) engine ~nodes ~position ~range ~cs_range =
   if cs_range < range then invalid_arg "Channel.create: cs_range < range";
   {
     engine;
+    trace;
     nodes;
     position;
     range;
@@ -114,7 +116,8 @@ let corrupt t node rx =
   if not rx.corrupted then begin
     rx.corrupted <- true;
     t.collision_count <- t.collision_count + 1;
-    t.collision_at.(node) <- t.collision_at.(node) + 1
+    t.collision_at.(node) <- t.collision_at.(node) + 1;
+    Trace.mac_collision t.trace ~node
   end
 
 (* Capture: a frame whose sender is [capture_ratio] times closer than a

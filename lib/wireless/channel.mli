@@ -13,8 +13,10 @@
 
 type 'a t
 
-(** @raise Invalid_argument when [cs_range < range]. *)
+(** @raise Invalid_argument when [cs_range < range]. [trace] records a
+    [mac-collision] event at each receiver-side corruption. *)
 val create :
+  ?trace:Trace.t ->
   Des.Engine.t ->
   nodes:int ->
   position:(int -> float -> Vec2.t) ->

@@ -26,11 +26,25 @@ type addr = Unicast of int | Broadcast
 
 type cls = Data_frame | Control_frame
 
-type t = { src : int; dst : addr; size : int; payload : payload; cls : cls }
+type t = {
+  src : int;
+  dst : addr;
+  size : int;
+  payload : payload;
+  cls : cls;
+  kind : string;
+      (** short human label for telemetry ("data", "rreq", "hello", …);
+          carries no protocol semantics *)
+}
 
 (** Classification defaults to [Data_frame] for [Data] payloads and
-    [Control_frame] otherwise. *)
+    [Control_frame] otherwise; [kind] defaults to ["data"] or ["ctl"]
+    accordingly. *)
 val make : src:int -> dst:addr -> size:int -> payload:payload -> t
+
+(** Tag the frame with its message name ("rreq", "hello", …) so traces can
+    tell control messages apart without decoding payloads. *)
+val with_kind : t -> string -> t
 
 (** Override the classification: protocols that wrap application data in
     their own payloads (e.g. DSR's source-routed header) reclassify the

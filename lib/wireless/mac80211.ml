@@ -35,6 +35,7 @@ type t = {
   channel : pdu Channel.t;
   id : int;
   rng : Des.Rng.t;
+  trace : Trace.t;
   callbacks : callbacks;
   queue : outgoing Queue.t;
   mutable current : outgoing option;
@@ -91,6 +92,29 @@ let count_tx t frame =
   if Frame.is_data frame then t.tx_data <- t.tx_data + 1
   else t.tx_control <- t.tx_control + 1
 
+let addr_id = function Frame.Broadcast -> -1 | Frame.Unicast i -> i
+
+(* Telemetry at actual airtime, one event per (re)transmission/arrival. *)
+let trace_tx t frame =
+  if Trace.enabled t.trace then begin
+    match frame.Frame.payload with
+    | Frame.Data data ->
+        Trace.pkt_tx t.trace ~node:t.id ~flow:data.Frame.flow
+          ~seq:data.Frame.seq ~next:(addr_id frame.Frame.dst)
+    | _ ->
+        Trace.ctl_tx t.trace ~node:t.id ~kind:frame.Frame.kind
+          ~dst:(addr_id frame.Frame.dst)
+  end
+
+let trace_rx t ~src frame =
+  if Trace.enabled t.trace then begin
+    match frame.Frame.payload with
+    | Frame.Data data ->
+        Trace.pkt_rx t.trace ~node:t.id ~flow:data.Frame.flow
+          ~seq:data.Frame.seq ~from:src
+    | _ -> Trace.ctl_rx t.trace ~node:t.id ~kind:frame.Frame.kind ~from:src
+  end
+
 let rec start_contention t =
   match t.state with
   | Idle -> begin
@@ -106,6 +130,7 @@ let rec start_contention t =
   | Contending _ | Transmitting | Awaiting_cts _ | Awaiting_ack _ -> ()
 
 and arm_contention t =
+  Trace.mac_backoff t.trace ~node:t.id ~cw:t.cw;
   let handle =
     Des.Engine.schedule t.engine ~delay:(backoff_delay t) (fun () ->
         t.state <- Idle;
@@ -162,6 +187,7 @@ and transmit_frame t entry =
   let frame = entry.frame in
   let duration = data_duration t frame in
   count_tx t frame;
+  trace_tx t frame;
   Channel.transmit t.channel ~src:t.id ~duration
     (Mac_data { seq = entry.seq; frame });
   match frame.Frame.dst with
@@ -188,6 +214,7 @@ and retry t entry dst =
   entry.retries <- entry.retries + 1;
   if entry.retries > t.radio.Radio.retry_limit then begin
     t.drop_retry <- t.drop_retry + 1;
+    Trace.mac_retry_drop t.trace ~node:t.id ~dst;
     t.state <- Idle;
     t.current <- None;
     t.cw <- t.radio.Radio.cw_min;
@@ -223,6 +250,7 @@ let deliver_data t ~src ~seq frame =
   match frame.Frame.dst with
   | Frame.Broadcast ->
       t.rx_delivered <- t.rx_delivered + 1;
+      trace_rx t ~src frame;
       t.callbacks.on_receive ~src frame
   | Frame.Unicast dst when dst = t.id ->
       send_ack t ~to_:src ~seq;
@@ -235,6 +263,7 @@ let deliver_data t ~src ~seq frame =
       else begin
         Hashtbl.replace t.last_seen src seq;
         t.rx_delivered <- t.rx_delivered + 1;
+        trace_rx t ~src frame;
         t.callbacks.on_receive ~src frame
       end
   | Frame.Unicast _ -> ()
@@ -277,7 +306,7 @@ let handle_pdu t ~src pdu =
         | _ -> ()
       end
 
-let create engine radio channel ~id ~rng callbacks =
+let create ?(trace = Trace.null) engine radio channel ~id ~rng callbacks =
   let t =
     {
       engine;
@@ -285,6 +314,7 @@ let create engine radio channel ~id ~rng callbacks =
       channel;
       id;
       rng;
+      trace;
       callbacks;
       queue = Queue.create ();
       current = None;
@@ -321,11 +351,25 @@ let reset t =
   Hashtbl.reset t.last_seen
 
 let send t frame =
-  if queue_length t >= t.radio.Radio.queue_limit then
-    t.drop_queue_full <- t.drop_queue_full + 1
+  if queue_length t >= t.radio.Radio.queue_limit then begin
+    t.drop_queue_full <- t.drop_queue_full + 1;
+    if Trace.enabled t.trace then begin
+      match frame.Frame.payload with
+      | Frame.Data data ->
+          Trace.pkt_drop t.trace ~node:t.id ~flow:data.Frame.flow
+            ~seq:data.Frame.seq ~reason:"mac queue full"
+      | _ -> Trace.mac_queue_drop t.trace ~node:t.id
+    end
+  end
   else begin
     let entry = { frame; seq = t.next_seq; retries = 0 } in
     t.next_seq <- t.next_seq + 1;
+    (if Trace.enabled t.trace then
+       match frame.Frame.payload with
+       | Frame.Data data ->
+           Trace.pkt_enqueue t.trace ~node:t.id ~flow:data.Frame.flow
+             ~seq:data.Frame.seq
+       | _ -> ());
     Queue.add entry t.queue;
     start_contention t
   end

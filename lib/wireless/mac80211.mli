@@ -37,7 +37,12 @@ type stats = {
   drop_duplicate : int;  (** retransmitted frames already delivered *)
 }
 
+(** [trace] records per-transmission telemetry: backoffs with the live
+    contention window, every DATA airtime (packet or control, tagged with
+    {!Frame.t}'s [kind]), intact arrivals, queue-overflow and
+    retry-exhaustion drops. *)
 val create :
+  ?trace:Trace.t ->
   Des.Engine.t ->
   Radio.t ->
   pdu Channel.t ->

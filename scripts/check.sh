@@ -9,4 +9,24 @@ dune build @all
 dune runtest
 
 dune exec bin/manet_sim.exe -- check --nodes 50 --duration 60 --faults
+
+# telemetry smoke: a traced run must emit parseable JSONL and a --json
+# result file with the documented keys, and same-seed traces must agree
+# byte for byte
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+dune exec bin/manet_sim.exe -- run --nodes 30 --duration 30 \
+  --trace-file "$tmp/a.jsonl" --sample-every 5 --json "$tmp/run.json" \
+  > "$tmp/out_a.txt" 2> /dev/null
+dune exec bin/manet_sim.exe -- run --nodes 30 --duration 30 \
+  --trace-file "$tmp/b.jsonl" --sample-every 5 \
+  > "$tmp/out_b.txt" 2> /dev/null
+cmp "$tmp/a.jsonl" "$tmp/b.jsonl"
+cmp "$tmp/out_a.txt" "$tmp/out_b.txt"
+dune exec bin/manet_sim.exe -- trace "$tmp/a.jsonl" --validate
+dune exec bin/manet_sim.exe -- trace "$tmp/run.json" --validate \
+  --require schema --require config.protocol --require config.seed \
+  --require result.delivery_ratio --require result.network_load \
+  --require result.latency --require result.engine_events
+
 echo "check.sh: all green"

@@ -27,6 +27,7 @@ let harness ?(id = 0) () =
       node_count = 16;
       engine;
       rng = Des.Rng.create 99L;
+      trace = Trace.null;
       mac_send = (fun f -> sent := f :: !sent);
       deliver = (fun d -> delivered := d :: !delivered);
       drop_data = (fun d ~reason -> dropped := (d, reason) :: !dropped);

@@ -86,13 +86,15 @@ let test_metrics_accounting () =
   (* the flow delivers again 0.7 s after its first drop: one recovery *)
   Sim.Metrics.on_delivered m ~now:2.7 (data 3);
   let gauges =
-    [ { Protocols.Routing_intf.own_seqno = 4; max_denominator = 7; seqno_resets = 1 };
-      { Protocols.Routing_intf.own_seqno = 0; max_denominator = 3; seqno_resets = 0 } ]
+    [ { Protocols.Routing_intf.own_seqno = 4; max_denominator = 7;
+        seqno_resets = 1; route_entries = 2; pending_packets = 0 };
+      { Protocols.Routing_intf.own_seqno = 0; max_denominator = 3;
+        seqno_resets = 0; route_entries = 1; pending_packets = 3 } ]
   in
   let r =
     Sim.Metrics.finalize m ~control_tx:10 ~data_tx:5 ~drop_queue_full:1
       ~drop_retry:2 ~mac_drops:3 ~collisions:4 ~nodes:2 ~gauges ~fault_events:0
-      ~fault_frames_blocked:0
+      ~fault_frames_blocked:0 ~engine_events:1234
   in
   Alcotest.(check int) "sent" 2 r.Sim.Metrics.sent;
   Alcotest.(check int) "delivered" 2 r.Sim.Metrics.delivered;

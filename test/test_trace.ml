@@ -1,0 +1,240 @@
+(* Telemetry subsystem tests: the hand-rolled JSON codec, the trace sinks,
+   and the two determinism guarantees the PR promises — same-seed traced
+   runs emit byte-identical JSONL, and tracing never perturbs the
+   simulation's results. *)
+
+module J = Trace.Json
+module C = Sim.Config
+
+let quick_config protocol =
+  {
+    C.small with
+    protocol;
+    nodes = 25;
+    terrain = Wireless.Terrain.make ~width:900.0 ~height:300.0;
+    duration = 35.0;
+    flows = 4;
+    pause = 0.0;
+    seed = 7;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* JSON codec *)
+
+let test_json_encode () =
+  let j =
+    J.Obj
+      [
+        ("a", J.Int 1);
+        ("b", J.Float 2.5);
+        ("c", J.String "x\"y\n");
+        ("d", J.List [ J.Bool true; J.Null ]);
+        ("e", J.Float 3.0);
+      ]
+  in
+  Alcotest.(check string)
+    "deterministic encoding"
+    "{\"a\":1,\"b\":2.5,\"c\":\"x\\\"y\\n\",\"d\":[true,null],\"e\":3.0}"
+    (J.to_string j)
+
+let test_json_float_format () =
+  Alcotest.(check string) "integral floats get .0" "5.0" (J.float_str 5.0);
+  Alcotest.(check string) "negative zero" "-0.0" (J.float_str (-0.0));
+  Alcotest.(check string) "nan is null" "null" (J.float_str Float.nan);
+  Alcotest.(check string) "inf is null" "null" (J.float_str Float.infinity);
+  Alcotest.(check string) "short decimal" "0.25" (J.float_str 0.25)
+
+let test_json_roundtrip () =
+  let j =
+    J.Obj
+      [
+        ("nested", J.Obj [ ("k", J.List [ J.Int 1; J.Int 2 ]) ]);
+        ("s", J.String "caf\xc3\xa9 \\ / tab\t");
+        ("f", J.Float 0.001234);
+        ("n", J.Int (-42));
+      ]
+  in
+  match J.parse (J.to_string j) with
+  | Ok j' ->
+      Alcotest.(check string) "parse inverts encode" (J.to_string j)
+        (J.to_string j')
+  | Error msg -> Alcotest.fail msg
+
+let test_json_parse_errors () =
+  let bad s =
+    match J.parse s with Ok _ -> Alcotest.fail ("accepted " ^ s) | Error _ -> ()
+  in
+  bad "{";
+  bad "[1,]";
+  bad "{\"a\" 1}";
+  bad "tru";
+  bad "\"unterminated";
+  bad "1 2"
+
+let test_json_path () =
+  match J.parse "{\"a\":{\"b\":{\"c\":7}},\"x\":1}" with
+  | Error msg -> Alcotest.fail msg
+  | Ok j -> (
+      (match J.path "a.b.c" j with
+      | Some (J.Int 7) -> ()
+      | _ -> Alcotest.fail "a.b.c should be 7");
+      match J.path "a.z" j with
+      | None -> ()
+      | Some _ -> Alcotest.fail "a.z should be absent")
+
+(* ------------------------------------------------------------------ *)
+(* Sinks *)
+
+let test_ring_keeps_last () =
+  let clock = ref 0.0 in
+  let t = Trace.ring ~clock:(fun () -> !clock) ~capacity:3 in
+  for i = 1 to 5 do
+    clock := float_of_int i;
+    Trace.seqno_reset t ~node:i ~seqno:i
+  done;
+  let records = Trace.ring_contents t in
+  Alcotest.(check int) "capacity bounds the ring" 3 (List.length records);
+  Alcotest.(check (list int))
+    "oldest first, last capacity kept" [ 3; 4; 5 ]
+    (List.map (fun r -> r.Trace.node) records)
+
+let test_null_is_disabled () =
+  Alcotest.(check bool) "null disabled" false (Trace.enabled Trace.null);
+  (* emitting into the null sink is a no-op, not an error *)
+  Trace.mac_collision Trace.null ~node:0;
+  Alcotest.(check (list reject)) "no contents" []
+    (Trace.ring_contents Trace.null)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism *)
+
+let jsonl_of_run config =
+  let path = Filename.temp_file "trace" ".jsonl" in
+  let oc = open_out path in
+  let trace = Trace.jsonl ~clock:(fun () -> 0.0) oc in
+  let result = Sim.Runner.run ~trace ~sample_every:5.0 config in
+  close_out oc;
+  let ic = open_in_bin path in
+  let contents = really_input_string ic (in_channel_length ic) in
+  close_in ic;
+  Sys.remove path;
+  (result, contents)
+
+let test_traced_runs_byte_identical () =
+  let config = quick_config C.Srp in
+  let r1, bytes1 = jsonl_of_run config in
+  let r2, bytes2 = jsonl_of_run config in
+  Alcotest.(check bool) "trace is non-trivial" true
+    (String.length bytes1 > 1000);
+  Alcotest.(check string) "same seed, same bytes" bytes1 bytes2;
+  Alcotest.(check bool) "same results" true (r1 = r2)
+
+let test_tracing_does_not_perturb () =
+  let config = quick_config C.Srp in
+  let untraced = Sim.Runner.run config in
+  (* ring sink, no sampler: the event schedule is untouched, so every
+     field of the result — engine_events included — must match exactly *)
+  let clock = ref 0.0 in
+  let trace = Trace.ring ~clock:(fun () -> !clock) ~capacity:4096 in
+  let traced = Sim.Runner.run ~trace config in
+  Alcotest.(check bool) "tracing is invisible" true (untraced = traced);
+  (* with the periodic sampler armed, only the sampler's own engine ticks
+     may differ; the paper metrics must not move *)
+  let oc = open_out Filename.null in
+  let sampled =
+    Sim.Runner.run ~trace:(Trace.jsonl ~clock:(fun () -> 0.0) oc)
+      ~sample_every:5.0 config
+  in
+  close_out oc;
+  Alcotest.(check bool) "sampler only adds its own ticks" true
+    (untraced = { sampled with Sim.Metrics.engine_events = untraced.Sim.Metrics.engine_events });
+  Alcotest.(check bool) "sampler ticks were executed" true
+    (sampled.Sim.Metrics.engine_events > untraced.Sim.Metrics.engine_events)
+
+let test_trace_has_lifecycle_events () =
+  let config = quick_config C.Srp in
+  let _, bytes = jsonl_of_run config in
+  let lines = String.split_on_char '\n' (String.trim bytes) in
+  List.iter
+    (fun line ->
+      match J.parse line with
+      | Ok json ->
+          List.iter
+            (fun k ->
+              if J.member k json = None then
+                Alcotest.fail (Printf.sprintf "record lacks %S: %s" k line))
+            [ "t"; "node"; "ev" ]
+      | Error msg -> Alcotest.fail (line ^ ": " ^ msg))
+    lines;
+  let has ev =
+    List.exists
+      (fun line ->
+        match J.parse line with
+        | Ok json -> J.member "ev" json = Some (J.String ev)
+        | Error _ -> false)
+      lines
+  in
+  List.iter
+    (fun ev ->
+      Alcotest.(check bool) (ev ^ " present") true (has ev))
+    [
+      "pkt-originate"; "pkt-enqueue"; "pkt-tx"; "pkt-rx"; "pkt-forward";
+      "pkt-deliver"; "ctl-tx"; "ctl-rx"; "route-add"; "mac-backoff"; "gauge";
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* JSON export of results *)
+
+let test_result_json_fields () =
+  let config = quick_config C.Aodv in
+  let result = Sim.Runner.run config in
+  let envelope = Sim.Report.run_json config result in
+  (match J.path "schema" envelope with
+  | Some (J.String "manet-sim/run-v1") -> ()
+  | _ -> Alcotest.fail "schema marker missing");
+  List.iter
+    (fun p ->
+      if J.path p envelope = None then
+        Alcotest.fail (Printf.sprintf "missing %s" p))
+    [
+      "config.protocol"; "config.seed"; "config.nodes";
+      "result.sent"; "result.delivered"; "result.delivery_ratio";
+      "result.network_load"; "result.latency"; "result.engine_events";
+    ];
+  (* the export round-trips through the parser *)
+  match J.parse (J.to_string envelope) with
+  | Ok j ->
+      Alcotest.(check string) "round trip" (J.to_string envelope)
+        (J.to_string j)
+  | Error msg -> Alcotest.fail msg
+
+let () =
+  Alcotest.run "trace"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "encode" `Quick test_json_encode;
+          Alcotest.test_case "float format" `Quick test_json_float_format;
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_json_parse_errors;
+          Alcotest.test_case "path" `Quick test_json_path;
+        ] );
+      ( "sinks",
+        [
+          Alcotest.test_case "ring keeps last" `Quick test_ring_keeps_last;
+          Alcotest.test_case "null disabled" `Quick test_null_is_disabled;
+        ] );
+      ( "determinism",
+        [
+          Alcotest.test_case "same-seed JSONL bytes" `Slow
+            test_traced_runs_byte_identical;
+          Alcotest.test_case "tracing does not perturb" `Slow
+            test_tracing_does_not_perturb;
+          Alcotest.test_case "lifecycle events present" `Slow
+            test_trace_has_lifecycle_events;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "run json fields" `Slow test_result_json_fields;
+        ] );
+    ]
