@@ -404,6 +404,92 @@ let trace_cmd =
   in
   Cmd.v (Cmd.info "trace" ~doc) term
 
+(* --------------------------------------------------------------------- *)
+(* fuzz: the property-based suite over label arithmetic, the abstract SLR
+   executor, and whole simulations against the reference model            *)
+
+let fuzz_catalogue = Check.Props.all @ Sim.Fuzz.props
+
+let fuzz_cmd =
+  let doc =
+    "Run the property-based test suite: randomized label arithmetic, \
+     Algorithm 1, abstract SLR executions, and full SRP simulations checked \
+     against a reference model of the paper's ordering semantics. Every \
+     failure is shrunk to a minimal counterexample and printed with the \
+     exact invocation that replays it."
+  in
+  let term =
+    let open Term.Syntax in
+    let+ max_cases =
+      Arg.(
+        value & opt int 100
+        & info [ "max-cases" ]
+            ~doc:
+              "Case budget per property; expensive properties (whole \
+               simulations) run $(docv) divided by their declared cost.")
+    and+ seed =
+      Arg.(
+        value & opt int 42
+        & info [ "seed" ] ~doc:"Root seed for the whole suite.")
+    and+ prop =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "prop" ] ~docv:"NAME"
+            ~doc:"Run only the named property (see --list).")
+    and+ replay =
+      Arg.(
+        value
+        & opt (some int) None
+        & info [ "replay" ] ~docv:"CASE"
+            ~doc:
+              "Re-run exactly one case index, as printed by a failure \
+               report. Requires --prop and the report's --seed.")
+    and+ list_props =
+      Arg.(
+        value & flag
+        & info [ "list" ] ~doc:"List the property catalogue and exit.")
+    in
+    if list_props then
+      List.iter
+        (fun (Check.Runner.Packed c) ->
+          Printf.printf "%-34s cost %d\n" c.Check.Runner.name
+            c.Check.Runner.cost)
+        fuzz_catalogue
+    else begin
+      (match (replay, prop) with
+      | Some _, None ->
+          prerr_endline "fuzz: --replay requires --prop";
+          exit 2
+      | _ -> ());
+      (match prop with
+      | Some name
+        when not
+               (List.exists
+                  (fun (Check.Runner.Packed c) -> c.Check.Runner.name = name)
+                  fuzz_catalogue) ->
+          Printf.eprintf "fuzz: unknown property %S (see --list)\n" name;
+          exit 2
+      | _ -> ());
+      let outcomes =
+        Check.Runner.run_suite ~seed ~max_cases ?only:prop ?start:replay
+          fuzz_catalogue
+      in
+      List.iter
+        (fun (name, outcome) ->
+          print_endline (Check.Runner.report outcome ~name))
+        outcomes;
+      let failed =
+        List.exists
+          (fun (_, o) ->
+            match o with Check.Runner.Fail _ -> true | Check.Runner.Pass _ -> false)
+          outcomes
+      in
+      if failed then exit 1
+    end
+  in
+  Cmd.v (Cmd.info "fuzz" ~doc) term
+
 let labels_cmd =
   let doc = "Show SLR label arithmetic: mediants, splits, the 45-split bound." in
   let show () =
@@ -433,4 +519,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; campaign_cmd; check_cmd; trace_cmd; labels_cmd ]))
+          [ run_cmd; campaign_cmd; check_cmd; fuzz_cmd; trace_cmd; labels_cmd ]))

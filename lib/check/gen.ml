@@ -1,0 +1,180 @@
+module Tree = struct
+  type 'a t = Node of 'a * 'a t Seq.t
+
+  let root (Node (x, _)) = x
+
+  let children (Node (_, cs)) = cs
+
+  let pure x = Node (x, Seq.empty)
+
+  let rec map f (Node (x, cs)) = Node (f x, Seq.map (map f) cs)
+
+  let rec map2 f (Node (a, ashr) as ta) (Node (b, bshr) as tb) =
+    Node
+      ( f a b,
+        Seq.append
+          (Seq.map (fun ta' -> map2 f ta' tb) ashr)
+          (Seq.map (fun tb' -> map2 f ta tb') bshr) )
+
+  (* Hedgehog bind: shrink the outer value first (re-deriving the inner
+     tree for each candidate), then shrink the inner one. *)
+  let rec bind (Node (x, xs)) f =
+    let (Node (y, ys)) = f x in
+    Node (y, Seq.append (Seq.map (fun t -> bind t f) xs) ys)
+
+  let rec filter p (Node (x, cs)) =
+    Node (x, Seq.filter_map (fun (Node (c, _) as t) ->
+        if p c then Some (filter p t) else None) cs)
+end
+
+type 'a t = Des.Rng.t -> 'a Tree.t
+
+let generate g rng = g rng
+
+let pure x _rng = Tree.pure x
+
+let map f g rng = Tree.map f (g rng)
+
+let map2 f ga gb rng =
+  let ta = ga rng in
+  let tb = gb rng in
+  Tree.map2 f ta tb
+
+let pair ga gb = map2 (fun a b -> (a, b)) ga gb
+
+let triple ga gb gc =
+  map2 (fun (a, b) c -> (a, b, c)) (pair ga gb) gc
+
+let bind g f rng =
+  let outer = g rng in
+  (* every invocation of [f] (for the generated outer value and for each of
+     its shrink candidates) reads the same inner substream, so the tree is a
+     pure function of the stream consumed here *)
+  let inner_base = Des.Rng.create (Des.Rng.bits64 rng) in
+  Tree.bind outer (fun a -> f a (Des.Rng.copy inner_base))
+
+(* Shrink an int toward [origin]: origin first, then a halving walk back
+   toward the full value. Each candidate recurses with itself as the new
+   value, so the tree depth is logarithmic in |x - origin|. *)
+let rec int_tree ~origin x =
+  if x = origin then Tree.pure x
+  else
+    let candidates () =
+      let delta = x - origin in
+      let rec walk d acc = if d = 0 then acc else walk (d / 2) (x - d :: acc) in
+      (* ascending distance from origin: origin, origin + delta/2, ... *)
+      let cands = walk delta [] in
+      List.to_seq (List.rev cands) ()
+    in
+    Tree.Node (x, Seq.map (fun c -> int_tree ~origin c) candidates)
+
+let int_toward ~origin lo hi rng =
+  if hi < lo then invalid_arg "Gen.int_toward: empty range";
+  let origin = Stdlib.min hi (Stdlib.max lo origin) in
+  let x = lo + Des.Rng.int rng (hi - lo + 1) in
+  int_tree ~origin x
+
+let int_range lo hi = int_toward ~origin:lo lo hi
+
+let rec float_tree ~origin x =
+  if Float.abs (x -. origin) < 1e-9 then Tree.pure x
+  else
+    let candidates =
+      List.to_seq [ origin; origin +. ((x -. origin) /. 2.) ]
+      |> Seq.filter (fun c -> Float.abs (c -. origin) < Float.abs (x -. origin))
+    in
+    Tree.Node (x, Seq.map (fun c -> float_tree ~origin c) candidates)
+
+let float_range lo hi rng =
+  if hi < lo then invalid_arg "Gen.float_range: empty range";
+  let x = Des.Rng.uniform rng ~lo ~hi in
+  float_tree ~origin:lo x
+
+let bool rng =
+  if Des.Rng.bool rng then Tree.Node (true, Seq.return (Tree.pure false))
+  else Tree.pure false
+
+let elements xs rng =
+  match xs with
+  | [] -> invalid_arg "Gen.elements: empty list"
+  | _ ->
+      let arr = Array.of_list xs in
+      let i = Des.Rng.int rng (Array.length arr) in
+      Tree.map (fun j -> arr.(j)) (int_tree ~origin:0 i)
+
+let oneof gs rng =
+  match gs with
+  | [] -> invalid_arg "Gen.oneof: empty list"
+  | _ ->
+      let arr = Array.of_list gs in
+      arr.(Des.Rng.int rng (Array.length arr)) rng
+
+let frequency weighted rng =
+  let total = List.fold_left (fun acc (w, _) -> acc + Stdlib.max 0 w) 0 weighted in
+  if total <= 0 then invalid_arg "Gen.frequency: non-positive total weight";
+  let roll = Des.Rng.int rng total in
+  let rec pick acc = function
+    | [] -> invalid_arg "Gen.frequency: empty list"
+    | (w, g) :: rest ->
+        let acc = acc + Stdlib.max 0 w in
+        if roll < acc then g else pick acc rest
+  in
+  (pick 0 weighted) rng
+
+(* List shrinking: drop chunks of elements (biggest first), then shrink
+   elements pointwise. Standard QuickCheck layout over shrink trees. *)
+let rec list_tree (elts : 'a Tree.t list) : 'a list Tree.t =
+  let roots = List.map Tree.root elts in
+  let n = List.length elts in
+  let removals () =
+    (* for k = n/2, n/4, ..., 1: every way to remove a k-chunk *)
+    let rec chunks k acc =
+      if k = 0 then acc
+      else
+        let rec cut start acc =
+          if start + k > n then acc
+          else
+            let kept =
+              List.filteri (fun i _ -> i < start || i >= start + k) elts
+            in
+            cut (start + k) (kept :: acc)
+        in
+        chunks (k / 2) (cut 0 acc)
+    in
+    List.to_seq (List.rev (chunks (n / 2) [])) ()
+  in
+  let pointwise () =
+    let rec go i =
+      if i >= n then Seq.empty
+      else
+        let elt = List.nth elts i in
+        let here =
+          Seq.map
+            (fun c -> List.mapi (fun j e -> if j = i then c else e) elts)
+            (Tree.children elt)
+        in
+        Seq.append here (go (i + 1))
+    in
+    go 0 ()
+  in
+  Tree.Node
+    ( roots,
+      Seq.append
+        (fun () -> Seq.map list_tree removals ())
+        (fun () -> Seq.map list_tree pointwise ()) )
+
+let list_size size_gen elt_gen rng =
+  let size_tree = size_gen rng in
+  let n = Stdlib.max 0 (Tree.root size_tree) in
+  let elts = List.init n (fun _ -> elt_gen rng) in
+  list_tree elts
+
+let such_that ?(retries = 100) p g rng =
+  let rec attempt k =
+    if k = 0 then failwith "Gen.such_that: no value satisfied the predicate";
+    let t = g rng in
+    if p (Tree.root t) then Tree.filter p t else attempt (k - 1)
+  in
+  attempt retries
+
+let no_shrink g rng = Tree.pure (Tree.root (g rng))

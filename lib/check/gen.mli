@@ -1,0 +1,81 @@
+(** Deterministic generators with integrated shrinking.
+
+    A generator is a function from a {!Des.Rng.t} substream to a lazy
+    {e shrink tree}: the root is the generated value, the children are
+    progressively smaller candidates (each with its own shrink tree), laid
+    out so a greedy first-failing-child descent finds a locally minimal
+    counterexample. Shrinking never draws fresh randomness — the whole tree
+    is determined by the RNG stream consumed at generation time — so a
+    failure replays bit-for-bit from its (seed, case) pair. *)
+
+module Tree : sig
+  (** A value plus its lazily-built shrink candidates, smallest first. *)
+  type 'a t = Node of 'a * 'a t Seq.t
+
+  val root : 'a t -> 'a
+
+  val children : 'a t -> 'a t Seq.t
+
+  val pure : 'a -> 'a t
+
+  val map : ('a -> 'b) -> 'a t -> 'b t
+end
+
+type 'a t = Des.Rng.t -> 'a Tree.t
+
+(** [generate g rng] runs the generator. Draws from [rng]; the returned
+    tree is pure. *)
+val generate : 'a t -> Des.Rng.t -> 'a Tree.t
+
+val pure : 'a -> 'a t
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+
+(** Product; shrinks either component while holding the other. *)
+val map2 : ('a -> 'b -> 'c) -> 'a t -> 'b t -> 'c t
+
+val pair : 'a t -> 'b t -> ('a * 'b) t
+
+val triple : 'a t -> 'b t -> 'c t -> ('a * 'b * 'c) t
+
+(** Monadic bind (Hedgehog-style): outer shrinks re-run [f] on a fresh copy
+    of the same inner substream, so shrinking stays deterministic. *)
+val bind : 'a t -> ('a -> 'b t) -> 'b t
+
+(** [int_range lo hi] is uniform on [\[lo, hi\]], shrinking toward [lo]. *)
+val int_range : int -> int -> int t
+
+(** Like {!int_range} but shrinking toward [origin] (clamped to the range). *)
+val int_toward : origin:int -> int -> int -> int t
+
+(** Uniform float on [\[lo, hi)], shrinking toward [lo] by halving. *)
+val float_range : float -> float -> float t
+
+(** Fair coin; [true] shrinks to [false]. *)
+val bool : bool t
+
+(** Uniform choice; shrinks toward the head of the list.
+    @raise Invalid_argument on an empty list. *)
+val elements : 'a list -> 'a t
+
+(** Uniform choice of generator; a choice shrinks toward earlier
+    alternatives' values only through its own tree (the alternative index
+    shrinks toward the head). *)
+val oneof : 'a t list -> 'a t
+
+(** Weighted choice. @raise Invalid_argument on an empty list or
+    non-positive total weight. *)
+val frequency : (int * 'a t) list -> 'a t
+
+(** [list_size n g] — a list whose length is drawn from [n]. Shrinks by
+    removing chunks of elements (halves first, then singletons) and by
+    shrinking individual elements. *)
+val list_size : int t -> 'a t -> 'a list t
+
+(** [such_that ?retries p g] regenerates until [p] holds (default 100
+    attempts, then raises [Failure]); shrink candidates violating [p] are
+    pruned from the tree. *)
+val such_that : ?retries:int -> ('a -> bool) -> 'a t -> 'a t
+
+(** Don't shrink: wraps the root with no children. *)
+val no_shrink : 'a t -> 'a t

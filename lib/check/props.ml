@@ -1,0 +1,685 @@
+module F = Slr.Fraction
+module O = Slr.Ordering
+
+let asprintf = Format.asprintf
+
+(* ------------------------------------------------------------------ *)
+(* Generators *)
+
+let fraction =
+  Gen.frequency
+    [
+      ( 8,
+        Gen.bind (Gen.int_range 1 10_000) (fun den ->
+            Gen.map (fun num -> F.make ~num ~den) (Gen.int_range 0 (den - 1)))
+      );
+      (1, Gen.pure F.zero);
+      (1, Gen.pure F.one);
+    ]
+
+let near_bound_fraction =
+  (* two interesting denominator regimes: around bound/2, where mediant
+     denominator sums straddle the 32-bit bound, and flush against the
+     bound, where even the next-element (den + 1) overflows *)
+  let half = F.bound / 2 in
+  let den_gen =
+    Gen.oneof
+      [
+        Gen.int_toward ~origin:half (half - 2000) (half + 2000);
+        Gen.int_toward ~origin:F.bound (F.bound - 2000) F.bound;
+      ]
+  in
+  Gen.bind den_gen (fun den ->
+      Gen.map
+        (fun num -> F.make ~num ~den)
+        (Gen.oneof
+           [
+             Gen.int_range 0 (Stdlib.min 2000 (den - 1));
+             Gen.int_toward ~origin:(den - 1) (Stdlib.max 0 (den - 2000))
+               (den - 1);
+           ]))
+
+let ordering_over frac_gen =
+  Gen.map2 (fun sn frac -> O.make ~sn ~frac) (Gen.int_range 0 4) frac_gen
+
+let ordering = ordering_over fraction
+
+let near_bound_ordering = ordering_over near_bound_fraction
+
+(* ------------------------------------------------------------------ *)
+(* Exact-rational helpers: all differential comparisons go through
+   Bigfrac so a bug in Fraction.compare cannot vouch for itself. *)
+
+let big_of f =
+  Slr.Bigfrac.make
+    ~num:(Slr.Bignat.of_int f.F.num)
+    ~den:(Slr.Bignat.of_int f.F.den)
+
+let big_lt a b = Slr.Bigfrac.compare (big_of a) (big_of b) < 0
+
+(* ------------------------------------------------------------------ *)
+(* Fraction arithmetic *)
+
+let prop_mediant =
+  Runner.cell ~name:"fraction-mediant"
+    ~print:(fun (a, b) -> asprintf "%a, %a" F.pp a F.pp b)
+    (Gen.pair fraction fraction)
+    (fun (a, b) ->
+      let lo, hi = if F.(a < b) then (a, b) else (b, a) in
+      if F.equal lo hi then Ok ()
+      else
+        match F.mediant lo hi with
+        | None ->
+            if F.would_overflow lo hi then Ok ()
+            else Error "mediant None without would_overflow"
+        | Some m ->
+            if F.would_overflow lo hi then
+              Error "mediant Some despite would_overflow"
+            else if not (big_lt lo m && big_lt m hi) then
+              Error
+                (asprintf "mediant %a outside (%a, %a) by exact comparison"
+                   F.pp m F.pp lo F.pp hi)
+            else Ok ())
+
+let prop_overflow =
+  Runner.cell ~name:"fraction-overflow"
+    ~print:(fun (a, b) -> asprintf "%a, %a" F.pp a F.pp b)
+    (Gen.pair near_bound_fraction near_bound_fraction)
+    (fun (a, b) ->
+      let lo, hi = if F.(a < b) then (a, b) else (b, a) in
+      let expect_overflow = lo.F.den + hi.F.den > F.bound in
+      (match F.mediant lo hi with
+      | Some _ when expect_overflow ->
+          Error "mediant succeeded past the 32-bit component bound"
+      | None when not expect_overflow ->
+          Error "mediant overflowed below the 32-bit component bound"
+      | _ -> Ok ())
+      |> fun r ->
+      (match r with
+      | Error _ -> r
+      | Ok () ->
+          (* the protocol-facing tests agree: the same condition drives the
+             ordering-level overflow mask (Eq. 11) that sets the T bit *)
+          let oa = O.make ~sn:1 ~frac:lo and ob = O.make ~sn:1 ~frac:hi in
+          if O.split_would_overflow oa ob <> expect_overflow then
+            Error "Ordering.split_would_overflow disagrees with Fraction"
+          else if
+            F.would_overflow lo hi <> expect_overflow
+          then Error "Fraction.would_overflow disagrees with the bound"
+          else Ok ()))
+
+(* Minimal denominator by brute force: the smallest q admitting some p with
+   lo < p/q < hi, checked in exact integer arithmetic. *)
+let brute_minimal_den lo hi ~limit =
+  let rec try_q q =
+    if q > limit then None
+    else
+      let p = (lo.F.num * q / lo.F.den) + 1 in
+      if p * lo.F.den > lo.F.num * q && p * hi.F.den < hi.F.num * q then
+        Some q
+      else try_q (q + 1)
+  in
+  try_q 1
+
+let small_fraction =
+  Gen.bind (Gen.int_range 1 100) (fun den ->
+      Gen.map (fun num -> F.make ~num ~den) (Gen.int_range 0 (den - 1)))
+
+let prop_farey =
+  Runner.cell ~name:"farey-simplest"
+    ~print:(fun (a, b) -> asprintf "%a, %a" F.pp a F.pp b)
+    (Gen.pair small_fraction small_fraction)
+    (fun (a, b) ->
+      let lo, hi = if F.(a < b) then (a, b) else (b, a) in
+      if F.equal lo hi then Ok ()
+      else
+        match Slr.Farey.simplest_between ~lo ~hi with
+        | None -> Error "simplest_between failed far from the bound"
+        | Some s ->
+            if not (big_lt lo s && big_lt s hi) then
+              Error (asprintf "farey %a outside the open interval" F.pp s)
+            else begin
+              match brute_minimal_den lo hi ~limit:(lo.F.den + hi.F.den) with
+              | Some q when q < s.F.den ->
+                  Error
+                    (asprintf "farey den %d not minimal: %d admits a fraction"
+                       s.F.den q)
+              | _ ->
+                  (* the mediant never beats the Farey walk *)
+                  (match F.mediant lo hi with
+                  | Some m when m.F.den < s.F.den ->
+                      Error "mediant denominator beat simplest_between"
+                  | _ -> Ok ())
+            end)
+
+(* ------------------------------------------------------------------ *)
+(* Bignat / Bigfrac near the 32-bit bound *)
+
+let prop_bignat =
+  let near_32 = Gen.int_toward ~origin:(1 lsl 32) 1 ((1 lsl 32) + 65536) in
+  (* small enough that a near-32-bit times near-30-bit product stays well
+     inside the native 63-bit int, keeping the differential oracle exact *)
+  let near_30 = Gen.int_toward ~origin:(1 lsl 30) 1 (1 lsl 30) in
+  Runner.cell ~name:"bignat-arith"
+    ~print:(fun (a, b) -> Printf.sprintf "%d, %d" a b)
+    (Gen.pair near_32 near_30)
+    (fun (a, b) ->
+      let module N = Slr.Bignat in
+      let na = N.of_int a and nb = N.of_int b in
+      if N.to_int (N.add na nb) <> Some (a + b) then
+        Error "add disagrees with native int"
+      else if N.to_int (N.mul na nb) <> Some (a * b) then
+        Error "mul disagrees with native int"
+      else if N.compare na nb <> compare a b then
+        Error "compare disagrees with native int"
+      else if N.of_string (N.to_string na) |> N.equal na |> not then
+        Error "decimal round-trip failed"
+      else Ok ())
+
+let prop_bigfrac =
+  Runner.cell ~name:"bigfrac-differential"
+    ~print:(fun (a, b) -> asprintf "%a, %a" F.pp a F.pp b)
+    (Gen.pair near_bound_fraction near_bound_fraction)
+    (fun (a, b) ->
+      let lo, hi = if F.(a < b) then (a, b) else (b, a) in
+      if F.equal lo hi then Ok ()
+      else
+        let bm = Slr.Bigfrac.mediant (big_of lo) (big_of hi) in
+        match F.mediant lo hi with
+        | Some m ->
+            if Slr.Bigfrac.equal (big_of m) bm then Ok ()
+            else Error "bounded mediant disagrees with unbounded mediant"
+        | None -> (
+            (* overflow must be real: the exact mediant's components exceed
+               the 32-bit bound, the reset-required (T-bit) regime *)
+            match Slr.Bignat.to_int bm.Slr.Bigfrac.den with
+            | Some d when d <= F.bound ->
+                Error
+                  (Printf.sprintf
+                     "mediant refused but exact denominator %d fits" d)
+            | _ -> Ok ()))
+
+(* ------------------------------------------------------------------ *)
+(* Algorithm 1 (NEWORDER) *)
+
+(* Component-level re-statement of Definition 1 (Eqs. 3-5), written
+   without Ordering.precedes so the oracle does not share code with the
+   implementation it judges. "Below" = closer to the destination: a higher
+   sequence number, or the same number with a smaller fraction. *)
+let below_eq g o =
+  g.O.sn > o.O.sn || (g.O.sn = o.O.sn && F.(g.O.frac <= o.O.frac))
+
+let strictly_below g o =
+  g.O.sn > o.O.sn || (g.O.sn = o.O.sn && F.(g.O.frac < o.O.frac))
+
+let eqs_3_to_5 ~current ~cached ~adv g =
+  below_eq g current && strictly_below g cached && strictly_below adv g
+
+let neworder_law ~compute (current, cached, adv) =
+  let r = compute ~current ~cached ~adv in
+  match r.Slr.New_order.case with
+  | Slr.New_order.Infinite ->
+      if O.is_unassigned r.Slr.New_order.order then Ok ()
+      else Error "Infinite case returned a finite ordering"
+  | case ->
+      if eqs_3_to_5 ~current ~cached ~adv r.Slr.New_order.order then begin
+        match case with
+        | Slr.New_order.Keep_current
+          when not (O.equal r.Slr.New_order.order current) ->
+            Error "Keep_current changed the ordering"
+        | _ -> Ok ()
+      end
+      else
+        Error
+          (asprintf "case %a emitted %a violating Eqs. 3-5 (Definition 1)"
+             Slr.New_order.pp_case case O.pp r.Slr.New_order.order)
+
+let triple_print (a, b, c) =
+  asprintf "current=%a cached=%a adv=%a" O.pp a O.pp b O.pp c
+
+let ordering_triple g = Gen.triple g g g
+
+let prop_neworder =
+  Runner.cell ~name:"neworder-maintains" ~print:triple_print
+    (Gen.oneof [ ordering_triple ordering; ordering_triple near_bound_ordering ])
+    (neworder_law ~compute:Slr.New_order.compute)
+
+let prop_neworder_farey =
+  Runner.cell ~name:"neworder-farey" ~print:triple_print
+    (Gen.oneof [ ordering_triple ordering; ordering_triple near_bound_ordering ])
+    (fun inputs ->
+      let farey ~current ~cached ~adv =
+        Slr.New_order.compute_with
+          ~split:(fun ~lo ~hi -> Slr.Farey.simplest_between ~lo ~hi)
+          ~current ~cached ~adv
+      in
+      match neworder_law ~compute:farey inputs with
+      | Error _ as e -> e
+      | Ok () ->
+          (* when both strategies split, the Farey label's denominator is
+             never larger than the mediant's (the §VI reduction claim) *)
+          let current, cached, adv = inputs in
+          let m = Slr.New_order.compute ~current ~cached ~adv in
+          let f = farey ~current ~cached ~adv in
+          let is_split = function
+            | Slr.New_order.Fresher_split | Slr.New_order.Equal_split -> true
+            | _ -> false
+          in
+          if
+            is_split m.Slr.New_order.case
+            && is_split f.Slr.New_order.case
+            && f.Slr.New_order.order.O.frac.F.den
+               > m.Slr.New_order.order.O.frac.F.den
+          then Error "Farey split grew the denominator past the mediant"
+          else Ok ())
+
+(* ------------------------------------------------------------------ *)
+(* Abstract SLR executor: loop freedom after every mutation *)
+
+type abstract_case = {
+  graph : Topo.graph;
+  dest : int;
+  ops : Topo.op list;
+}
+
+let abstract_gen =
+  Gen.bind (Topo.graph ~min_nodes:3 ~max_nodes:12 ()) (fun graph ->
+      Gen.map2
+        (fun dest ops -> { graph; dest; ops })
+        (Gen.int_range 0 (graph.Topo.nodes - 1))
+        (Topo.schedule graph ~max_ops:30))
+
+let abstract_print c =
+  asprintf "%a dest=%d ops=[%a]" Topo.pp_graph c.graph c.dest
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       Topo.pp_op)
+    c.ops
+
+let abstract_law (type l) (module L : Slr.Ordinal.S with type t = l)
+    ~exhaustion_ok c =
+  let module Net = Slr.Simple_net.Make (L) in
+  let net = Net.create ~nodes:c.graph.Topo.nodes ~dest:c.dest in
+  List.iter (fun (a, b) -> Net.add_link net a b) c.graph.Topo.edges;
+  let step i op =
+    (match op with
+    | Topo.Request src -> (
+        match Net.request net ~src with
+        | Net.Routed _ | Net.No_route -> Ok ()
+        | Net.Label_exhausted node ->
+            if exhaustion_ok then Ok ()
+            else
+              Error
+                (Printf.sprintf
+                   "op %d: dense label set exhausted at node %d" i node))
+    | Topo.Break (a, b) ->
+        Net.break_link net a b;
+        Ok ()
+    | Topo.Restore (a, b) ->
+        if not (Net.linked net a b) then Net.add_link net a b;
+        Ok ())
+    |> function
+    | Error _ as e -> e
+    | Ok () -> (
+        match Net.check_invariants net with
+        | Ok () -> Ok ()
+        | Error m -> Error (asprintf "after op %d (%a): %s" i Topo.pp_op op m))
+  in
+  let rec run i = function
+    | [] -> Ok ()
+    | op :: rest -> ( match step i op with Ok () -> run (i + 1) rest | e -> e)
+  in
+  run 0 c.ops
+
+let prop_abstract_bounded =
+  Runner.cell ~cost:2 ~name:"abstract-loop-freedom" ~print:abstract_print
+    abstract_gen
+    (abstract_law (module Slr.Ordinal.Bounded_fraction) ~exhaustion_ok:true)
+
+let prop_abstract_unbounded =
+  Runner.cell ~cost:2 ~name:"abstract-loop-freedom-unbounded"
+    ~print:abstract_print abstract_gen
+    (abstract_law (module Slr.Ordinal.Unbounded_fraction) ~exhaustion_ok:false)
+
+(* ------------------------------------------------------------------ *)
+(* Protocol caches under randomized clocks. Times are multiples of 0.25 s
+   (exact binary floats), so the pure models below reproduce the
+   implementations' deadline arithmetic bit for bit. *)
+
+(* A quarter-second grid instant in [lo, hi] (given in quarters). *)
+let grid_time lo hi = Gen.map (fun q -> 0.25 *. float_of_int q) (Gen.int_range lo hi)
+
+type cache_op = { at : float; origin : int; id : int; query : bool }
+
+let pp_cache_op ppf o =
+  Format.fprintf ppf "%s(%d,%d)@%.2f"
+    (if o.query then "mem" else "witness")
+    o.origin o.id o.at
+
+type cache_case = { ttl : float; cache_ops : cache_op list }
+
+let cache_gen =
+  Gen.map2
+    (fun ttl cache_ops ->
+      let cache_ops = List.sort (fun a b -> Float.compare a.at b.at) cache_ops in
+      { ttl; cache_ops })
+    (grid_time 1 16)
+    (Gen.list_size (Gen.int_range 0 25)
+       (Gen.map2
+          (fun (at, query) (origin, id) -> { at; origin; id; query })
+          (Gen.pair (grid_time 0 40) Gen.bool)
+          (Gen.pair (Gen.int_range 0 2) (Gen.int_range 0 3))))
+
+let cache_print c =
+  asprintf "ttl=%.2f [%a]" c.ttl
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       pp_cache_op)
+    c.cache_ops
+
+(* The model: a pair is live iff it was recorded less than ttl seconds ago.
+   A live duplicate is refused and does NOT refresh the entry; an expired
+   pair is witnessed afresh. *)
+let seen_cache_law c =
+  let engine = Des.Engine.create () in
+  let cache = Protocols.Seen_cache.create engine ~ttl:c.ttl in
+  let model : (int * int, float) Hashtbl.t = Hashtbl.create 16 in
+  let live now key =
+    match Hashtbl.find_opt model key with
+    | Some expiry -> expiry > now
+    | None -> false
+  in
+  let failure = ref None in
+  let fail msg = if !failure = None then failure := Some msg in
+  List.iter
+    (fun op ->
+      ignore
+        (Des.Engine.schedule_at engine ~time:op.at (fun () ->
+             let now = Des.Engine.now engine in
+             let key = (op.origin, op.id) in
+             if op.query then begin
+               if Protocols.Seen_cache.mem cache ~origin:op.origin ~id:op.id
+                  <> live now key
+               then
+                 fail (asprintf "%a: mem disagrees with model" pp_cache_op op)
+             end
+             else begin
+               let expect = not (live now key) in
+               if
+                 Protocols.Seen_cache.witness cache ~origin:op.origin
+                   ~id:op.id
+                 <> expect
+               then
+                 fail
+                   (asprintf "%a: witness disagrees with model (expected %b)"
+                      pp_cache_op op expect)
+               else if expect then Hashtbl.replace model key (now +. c.ttl)
+             end;
+             (* the sweep must never evict live entries or count dead ones *)
+             let model_size =
+               Hashtbl.fold
+                 (fun _ expiry acc -> if expiry > now then acc + 1 else acc)
+                 model 0
+             in
+             let real_size = Protocols.Seen_cache.size cache in
+             if real_size <> model_size then
+               fail
+                 (Printf.sprintf "size %d but model holds %d live at %.2f"
+                    real_size model_size now))))
+    c.cache_ops;
+  Des.Engine.run_all engine;
+  match !failure with Some m -> Error m | None -> Ok ()
+
+let prop_seen_cache =
+  Runner.cell ~name:"seen-cache-model" ~print:cache_print cache_gen
+    seen_cache_law
+
+(* Pending buffer: single destination so the drop order is deterministic;
+   conservation (every push is taken or dropped exactly once), no
+   resurrection past the deadline, and overflow evicting the oldest. *)
+
+type pending_op = Push of float | Take of float | Flush of float
+
+let pending_time = function Push t | Take t | Flush t -> t
+
+let pp_pending_op ppf = function
+  | Push t -> Format.fprintf ppf "push@%.2f" t
+  | Take t -> Format.fprintf ppf "take@%.2f" t
+  | Flush t -> Format.fprintf ppf "flush@%.2f" t
+
+type pending_case = {
+  capacity : int;
+  pending_ttl : float;
+  pending_ops : pending_op list;
+}
+
+let pending_gen =
+  Gen.bind (Gen.pair (Gen.int_range 1 4) (grid_time 1 12)) (fun (capacity, pending_ttl) ->
+      Gen.map
+        (fun ops ->
+          let pending_ops =
+            List.sort
+              (fun a b -> Float.compare (pending_time a) (pending_time b))
+              ops
+          in
+          { capacity; pending_ttl; pending_ops })
+        (Gen.list_size (Gen.int_range 0 25)
+           (Gen.bind (grid_time 0 40) (fun t ->
+                Gen.frequency
+                  [
+                    (5, Gen.pure (Push t));
+                    (2, Gen.pure (Take t));
+                    (1, Gen.pure (Flush t));
+                  ]))))
+
+let pending_print c =
+  asprintf "capacity=%d ttl=%.2f [%a]" c.capacity c.pending_ttl
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       pp_pending_op)
+    c.pending_ops
+
+let pending_law c =
+  let engine = Des.Engine.create () in
+  let drops : (int * string) list ref = ref [] in
+  let buffer =
+    Protocols.Pending.create ~ttl:c.pending_ttl ~engine ~capacity:c.capacity
+      ~drop:(fun data ~size:_ ~reason ->
+        drops := (data.Wireless.Frame.seq, reason) :: !drops)
+      ()
+  in
+  (* model: live entries in arrival order, and the expected drop multiset *)
+  let entries : (int * float) list ref = ref [] in
+  let expected : (int * string) list ref = ref [] in
+  let purge now =
+    let dead, live =
+      List.partition (fun (_, deadline) -> deadline <= now) !entries
+    in
+    entries := live;
+    List.iter
+      (fun (seq, _) -> expected := (seq, "pending-buffer expired") :: !expected)
+      dead
+  in
+  let failure = ref None in
+  let fail msg = if !failure = None then failure := Some msg in
+  let next_seq = ref 0 in
+  let mk_data seq =
+    {
+      Wireless.Frame.origin = 0;
+      final_dst = 1;
+      flow = 0;
+      seq;
+      sent_at = 0.0;
+      hops = 0;
+    }
+  in
+  List.iter
+    (fun op ->
+      ignore
+        (Des.Engine.schedule_at engine ~time:(pending_time op) (fun () ->
+             let now = Des.Engine.now engine in
+             purge now;
+             match op with
+             | Push _ ->
+                 let seq = !next_seq in
+                 incr next_seq;
+                 if List.length !entries >= c.capacity then begin
+                   match !entries with
+                   | (oldest, _) :: rest ->
+                       entries := rest;
+                       expected :=
+                         (oldest, "pending-buffer overflow") :: !expected
+                   | [] -> ()
+                 end;
+                 entries := !entries @ [ (seq, now +. c.pending_ttl) ];
+                 Protocols.Pending.push buffer ~dst:0 (mk_data seq) ~size:512
+             | Take _ ->
+                 let got =
+                   List.map
+                     (fun (d, _) -> d.Wireless.Frame.seq)
+                     (Protocols.Pending.take_all buffer ~dst:0)
+                 in
+                 let want = List.map fst !entries in
+                 entries := [];
+                 if got <> want then
+                   fail
+                     (Printf.sprintf "take_all at %.2f returned [%s], model [%s]"
+                        now
+                        (String.concat ";" (List.map string_of_int got))
+                        (String.concat ";" (List.map string_of_int want)))
+             | Flush _ ->
+                 List.iter
+                   (fun (seq, _) -> expected := (seq, "gave-up") :: !expected)
+                   !entries;
+                 entries := [];
+                 Protocols.Pending.drop_all buffer ~dst:0 ~reason:"gave-up")))
+    c.pending_ops;
+  Des.Engine.run_all engine;
+  (* run_all drains the sweep timers, so everything still buffered expires *)
+  List.iter
+    (fun (seq, _) -> expected := (seq, "pending-buffer expired") :: !expected)
+    !entries;
+  entries := [];
+  match !failure with
+  | Some m -> Error m
+  | None ->
+      let canon l = List.sort compare l in
+      if canon !drops <> canon !expected then
+        Error
+          (Printf.sprintf "drop log {%s} but model expects {%s}"
+             (String.concat ", "
+                (List.map
+                   (fun (s, r) -> Printf.sprintf "%d:%s" s r)
+                   (canon !drops)))
+             (String.concat ", "
+                (List.map
+                   (fun (s, r) -> Printf.sprintf "%d:%s" s r)
+                   (canon !expected))))
+      else Ok ()
+
+let prop_pending =
+  Runner.cell ~name:"pending-model" ~print:pending_print pending_gen
+    pending_law
+
+(* ------------------------------------------------------------------ *)
+(* SRP agents over the wire harness: every route mutation must satisfy
+   the reference model, under randomized interleaving perturbations. *)
+
+type wire_case = {
+  wgraph : Topo.graph;
+  wflows : (int * int) list;
+  perturb : Topo.perturbation;
+  wire_seed : int;
+}
+
+let wire_gen =
+  Gen.bind (Topo.graph ~min_nodes:3 ~max_nodes:8 ()) (fun wgraph ->
+      Gen.map2
+        (fun (wflows, perturb) wire_seed ->
+          { wgraph; wflows; perturb; wire_seed })
+        (Gen.pair
+           (Topo.flows ~nodes:wgraph.Topo.nodes ~max_flows:3)
+           Topo.perturbation)
+        (Gen.no_shrink (Gen.int_range 0 1_000_000)))
+
+let wire_print c =
+  asprintf "%a flows=[%a] %a seed=%d" Topo.pp_graph c.wgraph
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       (fun ppf (s, d) -> Format.fprintf ppf "%d->%d" s d))
+    c.wflows Topo.pp_perturbation c.perturb c.wire_seed
+
+exception Model_violation of string
+
+let wire_law c =
+  let nodes = c.wgraph.Topo.nodes in
+  let engine = Des.Engine.create () in
+  let rng = Des.Rng.create (Int64.of_int c.wire_seed) in
+  let wire =
+    Wire.create ~engine ~rng:(Des.Rng.split rng "wire") ~nodes
+      ~jitter:c.perturb.Topo.jitter ()
+  in
+  List.iter (fun (a, b) -> Wire.add_link wire a b) c.wgraph.Topo.edges;
+  let drop_rng = Des.Rng.split rng "drop" in
+  if c.perturb.Topo.drop_p > 0.0 then
+    Wire.set_filter wire (fun ~src:_ ~dst:_ ~frame:_ ->
+        Des.Rng.float drop_rng 1.0 >= c.perturb.Topo.drop_p);
+  let model = Slr_model.create ~nodes in
+  let agents =
+    Array.init nodes (fun i ->
+        let t, agent = Protocols.Srp.create_full (Wire.ctx wire i) in
+        Protocols.Srp.on_route_change t (fun dst ->
+            match
+              Slr_model.observe model
+                {
+                  Slr_model.node = i;
+                  dst;
+                  order = Protocols.Srp.ordering t ~dst;
+                  succs = Protocols.Srp.successor_orderings t ~dst;
+                }
+            with
+            | Ok () -> ()
+            | Error m -> raise (Model_violation m));
+        Wire.set_agent wire i agent;
+        agent)
+  in
+  List.iteri
+    (fun k (src, dst) ->
+      ignore
+        (Des.Engine.schedule engine ~delay:(0.3 *. float_of_int k)
+           (fun () ->
+             let data =
+               {
+                 Wireless.Frame.origin = src;
+                 final_dst = dst;
+                 flow = k;
+                 seq = k;
+                 sent_at = Des.Engine.now engine;
+                 hops = 0;
+               }
+             in
+             agents.(src).Protocols.Routing_intf.originate data ~size:512)))
+    c.wflows;
+  match Des.Engine.run engine ~until:30.0 with
+  | () -> Ok ()
+  | exception Model_violation m -> Error m
+
+let prop_wire_model =
+  Runner.cell ~cost:5 ~name:"srp-wire-model" ~print:wire_print wire_gen
+    wire_law
+
+let all =
+  [
+    prop_mediant;
+    prop_overflow;
+    prop_farey;
+    prop_bignat;
+    prop_bigfrac;
+    prop_neworder;
+    prop_neworder_farey;
+    prop_abstract_bounded;
+    prop_abstract_unbounded;
+    prop_seen_cache;
+    prop_pending;
+    prop_wire_model;
+  ]

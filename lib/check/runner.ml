@@ -1,0 +1,121 @@
+type 'a cell = {
+  name : string;
+  cost : int;
+  gen : 'a Gen.t;
+  print : 'a -> string;
+  law : 'a -> (unit, string) result;
+}
+
+type packed = Packed : 'a cell -> packed
+
+let cell ?(cost = 1) ~name ~print gen law =
+  Packed { name; cost; gen; print; law }
+
+type failure = {
+  prop : string;
+  seed : int;
+  case : int;
+  shrinks : int;
+  repr : string;
+  message : string;
+}
+
+type outcome = Pass of { cases : int } | Fail of failure
+
+let case_rng ~seed ~prop ~case =
+  Des.Rng.split
+    (Des.Rng.create (Int64.of_int seed))
+    (Printf.sprintf "%s#%d" prop case)
+
+(* A law either passes, or fails with a message (Error or exception). *)
+let verdict law x =
+  match law x with
+  | Ok () -> None
+  | Error m -> Some m
+  | exception e -> Some (Printf.sprintf "exception %s" (Printexc.to_string e))
+
+(* Greedy integrated shrinking: repeatedly descend into the first failing
+   child. Bounded so a pathological tree cannot spin forever. *)
+let max_shrink_steps = 4000
+
+let minimize law tree first_message =
+  let steps = ref 0 in
+  let rec descend tree message shrinks =
+    if !steps >= max_shrink_steps then (Gen.Tree.root tree, message, shrinks)
+    else
+      let rec first_failing children =
+        match children () with
+        | Seq.Nil -> None
+        | Seq.Cons (child, rest) ->
+            incr steps;
+            if !steps > max_shrink_steps then None
+            else begin
+              match verdict law (Gen.Tree.root child) with
+              | Some m -> Some (child, m)
+              | None -> first_failing rest
+            end
+      in
+      match first_failing (Gen.Tree.children tree) with
+      | Some (child, m) -> descend child m (shrinks + 1)
+      | None -> (Gen.Tree.root tree, message, shrinks)
+  in
+  descend tree first_message 0
+
+let run_cell ~seed ~cases ?(start = 0) (Packed c) =
+  let rec go k =
+    if k >= start + cases then Pass { cases }
+    else begin
+      let rng = case_rng ~seed ~prop:c.name ~case:k in
+      let tree = Gen.generate c.gen rng in
+      match verdict c.law (Gen.Tree.root tree) with
+      | None -> go (k + 1)
+      | Some message ->
+          let value, message, shrinks = minimize c.law tree message in
+          Fail
+            {
+              prop = c.name;
+              seed;
+              case = k;
+              shrinks;
+              repr = c.print value;
+              message;
+            }
+    end
+  in
+  go start
+
+let replay_line ~prop ~seed ~case =
+  Printf.sprintf "manet_sim fuzz --prop %s --seed %d --replay %d" prop seed
+    case
+
+let report outcome ~name =
+  match outcome with
+  | Pass { cases } -> Printf.sprintf "PASS %-34s %4d cases" name cases
+  | Fail f ->
+      String.concat "\n"
+        [
+          Printf.sprintf "FAIL %s (seed %d, case %d, %d shrinks)" f.prop
+            f.seed f.case f.shrinks;
+          Printf.sprintf "  counterexample: %s" f.repr;
+          Printf.sprintf "  violation:      %s" f.message;
+          Printf.sprintf "  replay:         %s"
+            (replay_line ~prop:f.prop ~seed:f.seed ~case:f.case);
+        ]
+
+let run_suite ~seed ~max_cases ?only ?start cells =
+  let selected =
+    match only with
+    | None -> cells
+    | Some name -> List.filter (fun (Packed c) -> c.name = name) cells
+  in
+  List.map
+    (fun (Packed c as p) ->
+      let outcome =
+        match start with
+        | Some k -> run_cell ~seed ~cases:1 ~start:k p
+        | None ->
+            let cases = Stdlib.max 1 (max_cases / Stdlib.max 1 c.cost) in
+            run_cell ~seed ~cases p
+      in
+      (c.name, outcome))
+    selected

@@ -1,0 +1,69 @@
+(** Property runner: executes generator-driven laws case by case, shrinks
+    failures to a local minimum, and renders every counterexample with the
+    exact [manet_sim fuzz --replay] invocation that reproduces it.
+
+    Case [k] of property [name] under seed [s] draws from the splitmix64
+    substream [split (create s) (name ^ "#" ^ k)] — independent of every
+    other case, so a replay of one case needs none of the preceding ones. *)
+
+(** One property: a generator, a printer for counterexamples, and a law
+    returning [Error message] (or raising) on violation. [cost] divides the
+    suite's case budget — expensive properties (whole simulations) declare
+    a higher cost and run proportionally fewer cases. *)
+type 'a cell = {
+  name : string;
+  cost : int;
+  gen : 'a Gen.t;
+  print : 'a -> string;
+  law : 'a -> (unit, string) result;
+}
+
+(** Existential wrapper so heterogeneous properties form one catalogue. *)
+type packed = Packed : 'a cell -> packed
+
+val cell :
+  ?cost:int ->
+  name:string ->
+  print:('a -> string) ->
+  'a Gen.t ->
+  ('a -> (unit, string) result) ->
+  packed
+
+type failure = {
+  prop : string;
+  seed : int;
+  case : int;  (** failing case index (replay key) *)
+  shrinks : int;  (** shrink steps taken to reach the minimum *)
+  repr : string;  (** printed minimal counterexample *)
+  message : string;  (** the law's error for the minimal counterexample *)
+}
+
+type outcome = Pass of { cases : int } | Fail of failure
+
+(** [run_cell ~seed ~cases ?start p] runs cases [start .. start + cases - 1]
+    (cases already divided by [cost] must be done by the caller — this
+    function runs exactly [cases]). Stops at the first failure and shrinks
+    it. *)
+val run_cell : seed:int -> cases:int -> ?start:int -> packed -> outcome
+
+(** Deterministic multi-line report. For failures it contains the seed, the
+    case, the shrink count, the minimal counterexample, the law's message,
+    and a one-line replay invocation; byte-identical across runs of the same
+    (seed, case) — the replay meta-test asserts exactly this. *)
+val report : outcome -> name:string -> string
+
+(** The replay invocation embedded in failure reports. *)
+val replay_line : prop:string -> seed:int -> case:int -> string
+
+(** [run_suite ~seed ~max_cases ?only ?start cells] runs every catalogue
+    entry (or just the [only]-named one), scaling [max_cases] down by each
+    cell's [cost] (minimum 1 case). [start] (replay mode) runs exactly one
+    case per selected cell at that index. Returns per-cell outcomes in
+    catalogue order. *)
+val run_suite :
+  seed:int ->
+  max_cases:int ->
+  ?only:string ->
+  ?start:int ->
+  packed list ->
+  (string * outcome) list

@@ -1,0 +1,117 @@
+module Ordering = Slr.Ordering
+module Fraction = Slr.Fraction
+
+type snapshot = {
+  node : int;
+  dst : int;
+  order : Slr.Ordering.t;
+  succs : (int * Slr.Ordering.t) list;
+}
+
+(* Per destination we mirror each node's last reported ordering and
+   successor id set; the orderings drive the monotonicity check, the id
+   sets the global acyclicity check. *)
+type dst_state = {
+  orders : Ordering.t option array;  (** last finite-world report per node *)
+  succ_ids : int list array;
+}
+
+type t = {
+  nodes : int;
+  dsts : (int, dst_state) Hashtbl.t;
+  mutable observations : int;
+  mutable edges : int;
+}
+
+let create ~nodes = { nodes; dsts = Hashtbl.create 16; observations = 0; edges = 0 }
+
+let dst_state t dst =
+  match Hashtbl.find_opt t.dsts dst with
+  | Some s -> s
+  | None ->
+      let s =
+        { orders = Array.make t.nodes None; succ_ids = Array.make t.nodes [] }
+      in
+      Hashtbl.replace t.dsts dst s;
+      s
+
+let observations t = t.observations
+
+let edges_checked t = t.edges
+
+(* Eq. 3 between two finite orderings of one node: the sequence number is
+   destination-controlled and only moves forward; at the same sequence
+   number the feasible-distance fraction never grows. *)
+let monotonic ~prev ~next =
+  prev.Ordering.sn < next.Ordering.sn
+  || (prev.Ordering.sn = next.Ordering.sn
+     && Fraction.( <= ) next.Ordering.frac prev.Ordering.frac)
+
+let check_edges snap =
+  let rec go = function
+    | [] -> Ok ()
+    | (b, ob) :: rest ->
+        if Ordering.precedes snap.order ob then go rest
+        else
+          Error
+            (Format.asprintf
+               "dst %d: node %d keeps successor %d out of order: %a not ⊑ %a"
+               snap.dst snap.node b Ordering.pp snap.order Ordering.pp ob)
+  in
+  go snap.succs
+
+let check_monotonic state snap =
+  match state.orders.(snap.node) with
+  | None -> Ok ()
+  | Some prev ->
+      if
+        Ordering.is_unassigned prev
+        || Ordering.is_unassigned snap.order
+        || Ordering.equal prev snap.order
+        || monotonic ~prev ~next:snap.order
+      then Ok ()
+      else
+        Error
+          (Format.asprintf
+             "dst %d: node %d raised its label: %a then %a (Eq. 3)" snap.dst
+             snap.node Ordering.pp prev Ordering.pp snap.order)
+
+let check_acyclic t state dst =
+  match
+    Slr.Dag.acyclic ~successors:(fun i -> state.succ_ids.(i)) t.nodes
+  with
+  | Ok () -> Ok ()
+  | Error cycle ->
+      Error
+        (Format.asprintf "dst %d: successor cycle %a" dst
+           (Format.pp_print_list
+              ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "->")
+              Format.pp_print_int)
+           cycle)
+
+let observe t snap =
+  if snap.node < 0 || snap.node >= t.nodes then
+    invalid_arg "Slr_model.observe: bad node";
+  t.observations <- t.observations + 1;
+  t.edges <- t.edges + List.length snap.succs;
+  let state = dst_state t snap.dst in
+  let result =
+    match check_edges snap with
+    | Error _ as e -> e
+    | Ok () -> (
+        match check_monotonic state snap with
+        | Error _ as e -> e
+        | Ok () ->
+            (* record first so the cycle check sees the new edge set *)
+            state.orders.(snap.node) <- Some snap.order;
+            state.succ_ids.(snap.node) <- List.map fst snap.succs;
+            check_acyclic t state snap.dst)
+  in
+  (match result with
+  | Ok () -> ()
+  | Error _ ->
+      (* keep the offending state recorded: replays of the same trace keep
+         reporting from the first violation on *)
+      state.orders.(snap.node) <- Some snap.order;
+      state.succ_ids.(snap.node) <- List.map fst snap.succs);
+  result

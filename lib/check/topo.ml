@@ -1,0 +1,98 @@
+type graph = { nodes : int; edges : (int * int) list }
+
+let pp_graph ppf g =
+  Format.fprintf ppf "graph{n=%d; %a}" g.nodes
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf " ")
+       (fun ppf (a, b) -> Format.fprintf ppf "%d-%d" a b))
+    g.edges
+
+let norm (a, b) = if a < b then (a, b) else (b, a)
+
+let dedup_edges edges =
+  List.sort_uniq compare
+    (List.filter_map
+       (fun (a, b) -> if a = b then None else Some (norm (a, b)))
+       edges)
+
+let graph ?(min_nodes = 3) ?(max_nodes = 16) () =
+  let open Gen in
+  bind (int_range min_nodes max_nodes) (fun n ->
+      (* spanning tree: node i > 0 hangs off a random earlier node, so the
+         root topology is connected; shrinking may remove tree edges, which
+         consumers must treat as a legal partitioned scenario *)
+      let tree =
+        List.init (n - 1) (fun i ->
+            map (fun p -> (p, i + 1)) (int_range 0 i))
+      in
+      let tree_gen =
+        List.fold_right (map2 (fun e acc -> e :: acc)) tree (pure [])
+      in
+      let extra =
+        list_size (int_range 0 (n / 2))
+          (pair (int_range 0 (n - 1)) (int_range 0 (n - 1)))
+      in
+      map2
+        (fun t e -> { nodes = n; edges = dedup_edges (t @ e) })
+        tree_gen extra)
+
+type op = Request of int | Break of int * int | Restore of int * int
+
+let pp_op ppf = function
+  | Request n -> Format.fprintf ppf "req(%d)" n
+  | Break (a, b) -> Format.fprintf ppf "break(%d-%d)" a b
+  | Restore (a, b) -> Format.fprintf ppf "restore(%d-%d)" a b
+
+let schedule g ~max_ops =
+  let open Gen in
+  let request = map (fun n -> Request n) (int_range 0 (g.nodes - 1)) in
+  let op =
+    match g.edges with
+    | [] -> request
+    | edges ->
+        let link = elements edges in
+        frequency
+          [
+            (6, request);
+            (2, map (fun (a, b) -> Break (a, b)) link);
+            (1, map (fun (a, b) -> Restore (a, b)) link);
+          ]
+  in
+  list_size (int_range 1 max_ops) op
+
+let flows ~nodes ~max_flows =
+  let open Gen in
+  if nodes < 2 then pure []
+  else
+    list_size (int_range 1 max_flows)
+      (such_that
+         (fun (s, d) -> s <> d)
+         (pair (int_range 0 (nodes - 1)) (int_range 0 (nodes - 1))))
+
+let fault_spec ?(crashes = false) () =
+  let open Gen in
+  map2
+    (fun (flap_rate, flap_down, crash_count) (burst_rate, burst_drop) ->
+      {
+        Faults.Spec.none with
+        Faults.Spec.flap_rate;
+        flap_down_mean = flap_down;
+        crashes = (if crashes then crash_count else 0);
+        crash_down_mean = 2.0;
+        burst_rate;
+        burst_mean = 1.0;
+        burst_drop_p = burst_drop;
+      })
+    (triple (float_range 0.0 1.0) (float_range 0.5 4.0) (int_range 0 2))
+    (pair (float_range 0.0 0.5) (float_range 0.0 0.8))
+
+type perturbation = { jitter : float; drop_p : float }
+
+let pp_perturbation ppf p =
+  Format.fprintf ppf "perturb{jitter=%.4f; drop_p=%.3f}" p.jitter p.drop_p
+
+let perturbation =
+  Gen.map2
+    (fun jitter drop_p -> { jitter; drop_p })
+    (Gen.float_range 0.0 0.05)
+    (Gen.float_range 0.0 0.3)

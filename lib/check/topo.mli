@@ -1,0 +1,46 @@
+(** Scenario generators shared by the fuzz properties: random connected
+    topologies, route-computation schedules, fault plans, CBR flow sets and
+    message-interleaving perturbations. All are plain {!Gen.t} values, so
+    they shrink with the engine (fewer nodes, fewer edges, shorter
+    schedules, milder faults). *)
+
+(** An undirected multigraph-free topology on nodes [0 .. nodes - 1]. *)
+type graph = { nodes : int; edges : (int * int) list }
+
+val pp_graph : Format.formatter -> graph -> unit
+
+(** Connected random topology: a random spanning tree plus extra random
+    edges. Shrinking can disconnect it — consumers must treat an
+    unreachable destination as a legal (No_route) scenario, which is
+    exactly the paper's semantics. *)
+val graph : ?min_nodes:int -> ?max_nodes:int -> unit -> graph Gen.t
+
+(** One step of an abstract SLR execution over a static topology. *)
+type op =
+  | Request of int  (** node runs a route computation toward the dest *)
+  | Break of int * int  (** an existing link fails (both directions) *)
+  | Restore of int * int  (** a previously named link comes back *)
+
+val pp_op : Format.formatter -> op -> unit
+
+(** A schedule of operations against a given topology; requests dominate,
+    with occasional link breaks/restores drawn from the graph's edge set. *)
+val schedule : graph -> max_ops:int -> op list Gen.t
+
+(** CBR flow set: (src, dst) pairs with distinct endpoints. *)
+val flows : nodes:int -> max_flows:int -> (int * int) list Gen.t
+
+(** A moderate fault spec on a bounded budget. [crashes] defaults to
+    [false]: crash faults wipe volatile label state, which legitimately
+    regresses orderings and would make the monotonicity half of the model
+    oracle fire spuriously. *)
+val fault_spec : ?crashes:bool -> unit -> Faults.Spec.t Gen.t
+
+(** Interleaving perturbation for the wire harness: per-frame extra delay
+    jitter and an independent drop probability. Shrinks toward the
+    undisturbed schedule (zero jitter, zero loss). *)
+type perturbation = { jitter : float; drop_p : float }
+
+val pp_perturbation : Format.formatter -> perturbation -> unit
+
+val perturbation : perturbation Gen.t

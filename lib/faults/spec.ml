@@ -144,3 +144,12 @@ let pp_event ppf = function
   | Burst_start { id; drop_p } ->
       Format.fprintf ppf "loss burst %d start (p=%.2f)" id drop_p
   | Burst_end { id } -> Format.fprintf ppf "loss burst %d end" id
+
+let pp ppf t =
+  if is_none t then Format.pp_print_string ppf "no-faults"
+  else
+    Format.fprintf ppf
+      "flap=%.3f/s(down %.1fs) crashes=%d partitions=%d burst=%.3f/s(p=%.2f) \
+       extra=%d"
+      t.flap_rate t.flap_down_mean t.crashes t.partitions t.burst_rate
+      t.burst_drop_p (List.length t.extra)

@@ -70,6 +70,7 @@ type t = {
   mutable discovery : Discovery.t option;
   mutable self_seqno : int;
   mutable next_rreq_id : int;
+  mutable on_change : int -> unit;  (** fires with the destination id *)
 }
 
 let now t = Des.Engine.now t.ctx.Routing_intf.engine
@@ -117,7 +118,8 @@ let update_route t ~dst ~seqno ~hops ~next_hop =
     r.hops <- hops;
     r.next_hop <- next_hop;
     r.valid <- true;
-    refresh t r
+    refresh t r;
+    t.on_change dst
   end;
   better
 
@@ -308,6 +310,7 @@ let handle_rerr t ~from rerr =
       | Some r when r.valid && r.next_hop = from ->
           r.valid <- false;
           r.seqno <- Stdlib.max r.seqno seqno;
+          t.on_change dst;
           if Hashtbl.length r.precursors > 0 then
             propagate := (dst, r.seqno) :: !propagate
       | Some _ | None -> ())
@@ -350,6 +353,7 @@ let unicast_failed t ~frame ~dst:next_hop =
       if r.valid && r.next_hop = next_hop then begin
         r.valid <- false;
         r.seqno <- r.seqno + 1;
+        t.on_change dst;
         if Hashtbl.length r.precursors > 0 then
           lost := (dst, r.seqno) :: !lost
       end)
@@ -406,6 +410,7 @@ let create_full ?(config = default_config) ctx =
       discovery = None;
       self_seqno = 0;
       next_rreq_id = 0;
+      on_change = ignore;
     }
   in
   let discovery =
@@ -441,3 +446,5 @@ let route_seqno t ~dst =
   match Hashtbl.find_opt t.routes dst with
   | Some r when r.seqno_known -> Some r.seqno
   | Some _ | None -> None
+
+let on_route_change t f = t.on_change <- f

@@ -65,3 +65,9 @@ val own_seqno : t -> int
 val next_hop : t -> dst:int -> int option
 
 val route_seqno : t -> dst:int -> int option
+
+(** [on_route_change t f] — [f dst] fires after every route-table mutation
+    for [dst]: adoption of a fresher or shorter route, and invalidation by
+    RERR or link-layer loss. One callback per instance (latest wins); used
+    by the fuzz monitors to check loop freedom at mutation granularity. *)
+val on_route_change : t -> (int -> unit) -> unit

@@ -1,0 +1,237 @@
+module Gen = Check.Gen
+module Runner_c = Check.Runner
+module Topo = Check.Topo
+module Slr_model = Check.Slr_model
+
+let asprintf = Format.asprintf
+
+(* ------------------------------------------------------------------ *)
+(* Scenario generator: a scaled-down Config built from [Config.small],
+   with the terrain sized to the node count so random placements stay
+   multi-hop but mostly connected at the default 250 m radio range. *)
+
+type sim_case = {
+  protocol : Config.protocol;
+  nodes : int;
+  duration : float;
+  flows : int;
+  pause : float;
+  sim_seed : int;
+  faults : Faults.Spec.t;
+}
+
+let to_config c =
+  {
+    Config.small with
+    protocol = c.protocol;
+    nodes = c.nodes;
+    terrain =
+      Wireless.Terrain.make
+        ~width:(300.0 +. (30.0 *. float_of_int c.nodes))
+        ~height:300.0;
+    duration = c.duration;
+    traffic_start = 1.0;
+    flows = c.flows;
+    flow_mean_duration = c.duration;
+    pause = c.pause;
+    seed = c.sim_seed;
+    faults = c.faults;
+  }
+
+let case_gen ~protocol ~faults =
+  Gen.bind protocol (fun protocol ->
+      Gen.bind faults (fun faults ->
+          Gen.map2
+            (fun (nodes, flows) (duration, pause, sim_seed) ->
+              { protocol; nodes; duration; flows; pause; sim_seed; faults })
+            (Gen.pair (Gen.int_range 8 14) (Gen.int_range 2 4))
+            (Gen.triple
+               (Gen.map float_of_int (Gen.int_range 8 20))
+               (Gen.map float_of_int (Gen.int_range 0 5))
+               (Gen.no_shrink (Gen.int_range 0 1_000_000)))))
+
+let pp_case ppf c =
+  Format.fprintf ppf
+    "%s nodes=%d duration=%.0fs flows=%d pause=%.0fs seed=%d faults=[%a]"
+    (Config.protocol_name c.protocol)
+    c.nodes c.duration c.flows c.pause c.sim_seed Faults.Spec.pp c.faults
+
+let print_case = asprintf "%a" pp_case
+
+(* ------------------------------------------------------------------ *)
+(* SRP under the full simulator vs the reference model: every route
+   mutation reported by the white-box hook must satisfy the Ordering
+   Criteria, label monotonicity and global acyclicity. Crash faults are
+   excluded ({!Topo.fault_spec} default): a reboot wipes volatile label
+   state, which legitimately regresses orderings. *)
+
+exception Model_violation of string
+
+let sim_model_law c =
+  let config = to_config c in
+  let nodes = config.Config.nodes in
+  let model = Slr_model.create ~nodes in
+  let srps : Protocols.Srp.t option array = Array.make nodes None in
+  try
+    let (_ : Metrics.result) =
+      Runner.run_custom config
+        ~build:(fun i ctx ->
+          let t, agent =
+            Protocols.Srp.create_full ~config:config.Config.srp ctx
+          in
+          srps.(i) <- Some t;
+          Protocols.Srp.on_route_change t (fun dst ->
+              match
+                Slr_model.observe model
+                  {
+                    Slr_model.node = i;
+                    dst;
+                    order = Protocols.Srp.ordering t ~dst;
+                    succs = Protocols.Srp.successor_orderings t ~dst;
+                  }
+              with
+              | Ok () -> ()
+              | Error m -> raise (Model_violation m));
+          agent)
+        ~on_start:(fun _ -> ())
+    in
+    ignore (Slr_model.observations model);
+    Ok ()
+  with Model_violation m -> Error m
+
+let prop_sim_model =
+  Runner_c.cell ~cost:10 ~name:"srp-sim-model" ~print:print_case
+    (case_gen
+       ~protocol:(Gen.pure Config.Srp)
+       ~faults:
+         (Gen.frequency
+            [
+              (2, Gen.pure Faults.Spec.none); (3, Topo.fault_spec ());
+            ]))
+    sim_model_law
+
+(* ------------------------------------------------------------------ *)
+(* Packet conservation: delivered + dropped + in-flight = originated,
+   with the structured trace and the metrics counters agreeing on each
+   term. Copies complicate the ledger: a lost MAC ack makes the sender
+   retry a frame the receiver already accepted, so one packet can raise
+   several deliver (or drop) events — the metrics deliberately count
+   unique packets for delivery and raw events for drops; a data frame
+   discarded by a full MAC IFQ is traced as a [pkt-drop] but counted by
+   the MAC's [drop_queue_full], not the routing-layer reasons. The law
+   checks exactly those semantics, plus that no terminal event ever
+   names a packet that was not originated. *)
+
+type ledger = {
+  mutable originate_events : int;
+  mutable drop_events : int;  (** routing-layer drop events *)
+  mutable mac_queue_events : int;
+      (** data frames discarded by a full MAC IFQ — traced as [pkt-drop]
+          with reason ["mac queue full"] but counted by the MAC's
+          [drop_queue_full], not by the routing-layer [drop_reasons] *)
+  originated : (int * int, unit) Hashtbl.t;
+  delivered : (int * int, unit) Hashtbl.t;
+  dropped : (int * int, unit) Hashtbl.t;
+  mutable dup_originate : (int * int) option;
+  mutable orphan : (string * int * int) option;
+      (** first terminal event naming a never-originated packet *)
+}
+
+let conservation_law c =
+  let l =
+    {
+      originate_events = 0;
+      drop_events = 0;
+      mac_queue_events = 0;
+      originated = Hashtbl.create 256;
+      delivered = Hashtbl.create 256;
+      dropped = Hashtbl.create 64;
+      dup_originate = None;
+      orphan = None;
+    }
+  in
+  let known kind flow seq =
+    if not (Hashtbl.mem l.originated (flow, seq)) && l.orphan = None then
+      l.orphan <- Some (kind, flow, seq)
+  in
+  let trace =
+    Trace.callback ~clock:(fun () -> 0.0) (fun r ->
+        match r.Trace.ev with
+        | Trace.Pkt_originate { flow; seq; _ } ->
+            l.originate_events <- l.originate_events + 1;
+            if Hashtbl.mem l.originated (flow, seq) then (
+              if l.dup_originate = None then l.dup_originate <- Some (flow, seq))
+            else Hashtbl.replace l.originated (flow, seq) ()
+        | Trace.Pkt_deliver { flow; seq; _ } ->
+            known "deliver" flow seq;
+            Hashtbl.replace l.delivered (flow, seq) ()
+        | Trace.Pkt_drop { flow; seq; reason; _ } ->
+            known "drop" flow seq;
+            if reason = "mac queue full" then
+              l.mac_queue_events <- l.mac_queue_events + 1
+            else l.drop_events <- l.drop_events + 1;
+            Hashtbl.replace l.dropped (flow, seq) ()
+        | _ -> ())
+  in
+  let result = Runner.run ~trace (to_config c) in
+  let metric_drops =
+    List.fold_left (fun acc (_, n) -> acc + n) 0 result.Metrics.drop_reasons
+  in
+  let dropped_only =
+    Hashtbl.fold
+      (fun k () acc -> if Hashtbl.mem l.delivered k then acc else acc + 1)
+      l.dropped 0
+  in
+  let in_flight =
+    result.Metrics.sent - Hashtbl.length l.delivered - dropped_only
+  in
+  match (l.dup_originate, l.orphan) with
+  | Some (flow, seq), _ ->
+      Error (Printf.sprintf "packet %d:%d originated twice" flow seq)
+  | _, Some (kind, flow, seq) ->
+      Error
+        (Printf.sprintf "%s event for packet %d:%d that never originated"
+           kind flow seq)
+  | None, None ->
+      if result.Metrics.sent <> l.originate_events then
+        Error
+          (Printf.sprintf "metrics sent %d but %d originate events traced"
+             result.Metrics.sent l.originate_events)
+      else if result.Metrics.delivered <> Hashtbl.length l.delivered then
+        Error
+          (Printf.sprintf
+             "metrics delivered %d but %d unique packets delivered in trace"
+             result.Metrics.delivered
+             (Hashtbl.length l.delivered))
+      else if metric_drops <> l.drop_events then
+        Error
+          (Printf.sprintf
+             "metrics count %d routing drops but %d drop events traced"
+             metric_drops l.drop_events)
+      else if result.Metrics.drop_queue_full < l.mac_queue_events then
+        Error
+          (Printf.sprintf
+             "MAC counts %d queue-full drops but %d traced on data frames"
+             result.Metrics.drop_queue_full l.mac_queue_events)
+      else if in_flight < 0 then
+        Error
+          (Printf.sprintf
+             "ledger overdrawn: %d originated, %d delivered, %d dropped-only"
+             result.Metrics.sent
+             (Hashtbl.length l.delivered)
+             dropped_only)
+      else Ok ()
+
+let prop_conservation =
+  Runner_c.cell ~cost:10 ~name:"metrics-conservation" ~print:print_case
+    (case_gen
+       ~protocol:(Gen.elements Config.all_protocols)
+       ~faults:
+         (Gen.frequency
+            [
+              (3, Gen.pure Faults.Spec.none);
+              (2, Topo.fault_spec ~crashes:true ());
+            ]))
+    conservation_law
+
+let props = [ prop_sim_model; prop_conservation ]

@@ -1,0 +1,8 @@
+(** Simulator-level fuzz properties: full {!Runner} campaigns on randomly
+    generated scenarios, checked against the reference model and against
+    the packet-conservation ledger. These are the expensive cells of the
+    catalogue ([cost] 10): the fuzz CLI and the fixed-seed suite scale
+    their case budget down accordingly. *)
+
+(** The catalogue; the CLI concatenates it with [Check.Props.all]. *)
+val props : Check.Runner.packed list

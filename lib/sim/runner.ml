@@ -122,7 +122,14 @@ let run_custom_detailed ?(on_faults = fun (_ : Faults.Injector.t) -> ())
           ~on_crash:(fun i ->
             incarnation.(i) <- incarnation.(i) + 1;
             Wireless.Mac80211.reset macs.(i);
-            agents.(i) <- Some (dead_agent drop_data))
+            (* trace the drop too, so the packet ledger (originated =
+               delivered + dropped + in-flight) balances under crashes *)
+            agents.(i) <-
+              Some
+                (dead_agent (fun data ~reason ->
+                     Trace.pkt_drop trace ~node:i ~flow:data.Frame.flow
+                       ~seq:data.Frame.seq ~reason;
+                     drop_data data ~reason)))
           ~on_restart:(fun i ->
             (* reboot with fresh volatile state: labels, routes, MAC queue *)
             incarnation.(i) <- incarnation.(i) + 1;

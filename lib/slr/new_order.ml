@@ -69,3 +69,12 @@ let compute ~current ~cached ~adv =
 
 let filter_successors ~order succs =
   List.filter (fun (_, s) -> Ordering.precedes order s) succs
+
+let pp_case ppf case =
+  Format.pp_print_string ppf
+    (match case with
+    | Infinite -> "Infinite"
+    | Fresher_next -> "Fresher_next"
+    | Fresher_split -> "Fresher_split"
+    | Keep_current -> "Keep_current"
+    | Equal_split -> "Equal_split")

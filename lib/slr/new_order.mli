@@ -54,6 +54,9 @@ val feasible : current:Ordering.t -> adv:Ordering.t -> bool
 val maintains_order :
   current:Ordering.t -> cached:Ordering.t -> adv:Ordering.t -> Ordering.t -> bool
 
+(** Prints the constructor name, for counterexample reports. *)
+val pp_case : Format.formatter -> case -> unit
+
 (** [filter_successors ~order succs] drops successors that are no longer
     in-order after adopting [order] (Algorithm 1 line 13): keeps [s] iff
     [order ⊑ s]. *)

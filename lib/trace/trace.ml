@@ -41,12 +41,14 @@ type sink =
   | Null
   | Ring of ring_state
   | Jsonl of { oc : out_channel; scratch : Buffer.t }
+  | Callback of (record -> unit)
 
 type t = { sink : sink; mutable clock : unit -> float }
 
 let null = { sink = Null; clock = (fun () -> 0.0) }
 
-let enabled t = match t.sink with Null -> false | Ring _ | Jsonl _ -> true
+let enabled t =
+  match t.sink with Null -> false | Ring _ | Jsonl _ | Callback _ -> true
 
 let dummy_record = { time = 0.0; node = 0; ev = Mac_collision }
 
@@ -59,6 +61,8 @@ let ring ~clock ~capacity =
   }
 
 let jsonl ~clock oc = { sink = Jsonl { oc; scratch = Buffer.create 256 }; clock }
+
+let callback ~clock f = { sink = Callback f; clock }
 
 let set_clock t clock = if enabled t then t.clock <- clock
 
@@ -136,12 +140,13 @@ let push sink r =
       Json.to_buffer scratch (record_to_json r);
       Buffer.add_char scratch '\n';
       Buffer.output_buffer oc scratch
+  | Callback f -> f r
 
 let emit t ~node ev = push t.sink { time = t.clock (); node; ev }
 
 let ring_contents t =
   match t.sink with
-  | Null | Jsonl _ -> []
+  | Null | Jsonl _ | Callback _ -> []
   | Ring ring ->
       if not ring.filled then
         Array.to_list (Array.sub ring.buf 0 ring.next)

@@ -64,6 +64,12 @@ val ring : clock:(unit -> float) -> capacity:int -> t
     Call {!close} to flush (the channel itself is not closed). *)
 val jsonl : clock:(unit -> float) -> out_channel -> t
 
+(** [callback ~clock f] hands every record to [f] as it is emitted —
+    the sink for in-process analyses (the fuzzer's metrics-conservation
+    oracle counts packet lifecycle events through one of these). [f] must
+    not emit through the same tracer. *)
+val callback : clock:(unit -> float) -> (record -> unit) -> t
+
 (** [set_clock t clock] rebinds the timestamp source. The CLI builds its
     tracer before the simulation engine exists; the runner points the
     tracer at the engine's clock once it is created. No-op on {!null}. *)

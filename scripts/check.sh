@@ -29,4 +29,9 @@ dune exec bin/manet_sim.exe -- trace "$tmp/run.json" --validate \
   --require result.delivery_ratio --require result.network_load \
   --require result.latency --require result.engine_events
 
+# fuzz smoke: the property-based suite (label arithmetic, Algorithm 1,
+# abstract SLR executions, SRP-vs-reference-model, packet conservation)
+# on a fixed seed must pass with zero violations
+dune exec bin/manet_sim.exe -- fuzz --max-cases 200 --seed 7
+
 echo "check.sh: all green"
