@@ -1,0 +1,89 @@
+type t = {
+  trials : int;
+  duration : float;
+  flows : int;
+  full : bool;
+  quiet : bool;
+  jobs : int;
+  baseline : string option;
+  compare_sequential : bool;
+  out : string;
+  sections : string list;
+}
+
+let default =
+  {
+    trials = 2;
+    duration = 120.0;
+    flows = Sim.Config.reproduction.Sim.Config.flows;
+    full = false;
+    quiet = false;
+    jobs = 1;
+    baseline = None;
+    compare_sequential = false;
+    out = "BENCH_campaign.json";
+    sections = [ "all" ];
+  }
+
+let known_sections =
+  [ "table1"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "campaign"; "micro";
+    "ablation"; "all" ]
+
+let usage =
+  "usage: main.exe [SECTION ...] [--trials N] [--duration S] [--flows N]\n\
+  \       [--full] [--quiet] [-j N | --jobs N] [--out PATH]\n\
+  \       [--check-regression PATH] [--compare-sequential]\n\
+   sections: " ^ String.concat " " known_sections ^ " (default: all)\n\
+   -j N farms campaign cells over N domains; results are byte-identical\n\
+   whatever N is. --check-regression compares fresh throughput against the\n\
+   perf.events_per_sec_per_job recorded in PATH and exits 3 below 75% of it."
+
+let ( let* ) = Result.bind
+
+let int_arg flag v =
+  match int_of_string_opt v with
+  | Some n when n > 0 -> Ok n
+  | Some _ -> Error (Printf.sprintf "%s: expected a positive integer, got %s" flag v)
+  | None -> Error (Printf.sprintf "%s: expected an integer, got %S" flag v)
+
+let float_arg flag v =
+  match float_of_string_opt v with
+  | Some x when x > 0.0 -> Ok x
+  | Some _ -> Error (Printf.sprintf "%s: expected a positive number, got %s" flag v)
+  | None -> Error (Printf.sprintf "%s: expected a number, got %S" flag v)
+
+let parse args =
+  let rec go acc sections = function
+    | [] ->
+        Ok { acc with sections = (if sections = [] then [ "all" ] else List.rev sections) }
+    | [ flag ]
+      when List.mem flag
+             [ "--trials"; "--duration"; "--flows"; "--jobs"; "-j";
+               "--check-regression"; "--out" ] ->
+        Error (flag ^ ": missing argument")
+    | "--trials" :: v :: rest ->
+        let* trials = int_arg "--trials" v in
+        go { acc with trials } sections rest
+    | "--duration" :: v :: rest ->
+        let* duration = float_arg "--duration" v in
+        go { acc with duration } sections rest
+    | "--flows" :: v :: rest ->
+        let* flows = int_arg "--flows" v in
+        go { acc with flows } sections rest
+    | ("--jobs" | "-j") :: v :: rest ->
+        let* jobs = int_arg "--jobs" v in
+        go { acc with jobs } sections rest
+    | "--check-regression" :: v :: rest ->
+        go { acc with baseline = Some v } sections rest
+    | "--out" :: v :: rest -> go { acc with out = v } sections rest
+    | "--compare-sequential" :: rest ->
+        go { acc with compare_sequential = true } sections rest
+    | "--full" :: rest -> go { acc with full = true } sections rest
+    | "--quiet" :: rest -> go { acc with quiet = true } sections rest
+    | s :: _ when String.length s > 0 && s.[0] = '-' ->
+        Error ("unknown flag " ^ s)
+    | s :: rest ->
+        if List.mem s known_sections then go acc (s :: sections) rest
+        else Error ("unknown section " ^ s)
+  in
+  go default [] args

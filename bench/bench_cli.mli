@@ -1,0 +1,31 @@
+(** Argument parsing for the benchmark harness, split out so malformed
+    input is testable: [parse] never raises — bad numbers, unknown flags
+    and unknown sections all come back as [Error message] for the driver
+    to print alongside {!usage} before exiting 2. *)
+
+type t = {
+  trials : int;  (** campaign trials per (protocol, pause) cell *)
+  duration : float;  (** seconds simulated per run (reduced scale) *)
+  flows : int;  (** concurrent CBR flows *)
+  full : bool;  (** paper raw scale: 900 s, 30 flows, 10 trials *)
+  quiet : bool;  (** suppress per-run progress lines on stderr *)
+  jobs : int;  (** domains for the campaign ({!Sim.Pool.map}) *)
+  baseline : string option;
+      (** [--check-regression PATH]: compare fresh throughput against the
+          committed [perf.events_per_sec_per_job] in PATH; exit 3 when the
+          fresh number falls below 75% of the baseline *)
+  compare_sequential : bool;
+      (** also run the campaign at [jobs = 1] and record the speedup *)
+  out : string;  (** where the campaign JSON (with perf member) is written *)
+  sections : string list;  (** validated section names, default [["all"]] *)
+}
+
+val default : t
+
+(** Section names [parse] accepts (positional arguments). *)
+val known_sections : string list
+
+val usage : string
+
+(** [parse argv_tail] — pass [Sys.argv] minus the program name. *)
+val parse : string list -> (t, string) result

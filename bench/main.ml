@@ -1,105 +1,127 @@
 (* Benchmark harness: regenerates every table and figure of the paper's
-   evaluation (Table I, Figs. 3-7), runs label-arithmetic micro-benchmarks
-   (E7), and two ablations of design choices called out in DESIGN.md (E8).
+   evaluation (Table I, Figs. 3-7), runs label-arithmetic and channel
+   micro-benchmarks (E7), and two ablations of design choices called out in
+   DESIGN.md (E8). Argument parsing lives in {!Bench_cli} (testable); this
+   file only drives the sections.
 
-   Usage:
-     main.exe [SECTION ...] [--trials N] [--duration S] [--flows N]
-              [--full] [--quiet]
+   The campaign behind table1/fig3..fig7 runs once and is shared, farmed
+   over [-j N] domains, and its JSON twin gains a ["perf"] member (wall
+   time, engine events, events/s) used by the [--check-regression] gate. *)
 
-   Sections: table1 fig3 fig4 fig5 fig6 fig7 campaign micro ablation all
-   (default: all). The campaign behind table1/fig3..fig7 runs once and is
-   shared. [--full] switches to the paper's raw scale (900 s, 30 flows,
-   10 trials) -- expect hours; the default is a calibrated reduction in the
-   same load regime (see EXPERIMENTS.md). *)
+module J = Trace.Json
 
-let trials = ref 2
-let duration = ref 120.0
-let flows = ref Sim.Config.reproduction.Sim.Config.flows
-let full = ref false
-let quiet = ref false
-let sections = ref []
+let wants opts section =
+  List.mem "all" opts.Bench_cli.sections
+  || List.mem section opts.Bench_cli.sections
 
-let parse_args () =
-  let rec go = function
-    | [] -> ()
-    | "--trials" :: v :: rest -> trials := int_of_string v; go rest
-    | "--duration" :: v :: rest -> duration := float_of_string v; go rest
-    | "--flows" :: v :: rest -> flows := int_of_string v; go rest
-    | "--full" :: rest -> full := true; go rest
-    | "--quiet" :: rest -> quiet := true; go rest
-    | s :: rest -> sections := s :: !sections; go rest
-  in
-  go (List.tl (Array.to_list Sys.argv));
-  if !sections = [] then sections := [ "all" ]
-
-let wants section = List.mem "all" !sections || List.mem section !sections
-
-let wants_campaign () =
-  List.exists wants [ "campaign"; "table1"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7" ]
+let wants_campaign opts =
+  List.exists (wants opts)
+    [ "campaign"; "table1"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7" ]
 
 (* ------------------------------------------------------------------ *)
 (* The simulation campaign shared by Table I and Figs. 3-7 *)
 
-let base_config () =
-  if !full then { Sim.Config.paper with seed = 1 }
+let base_config opts =
+  if opts.Bench_cli.full then { Sim.Config.paper with seed = 1 }
   else
-    { Sim.Config.reproduction with duration = !duration; flows = !flows; seed = 1 }
+    { Sim.Config.reproduction with
+      duration = opts.Bench_cli.duration;
+      flows = opts.Bench_cli.flows;
+      seed = 1;
+    }
 
-let run_campaign () =
-  let base = base_config () in
-  let trials = if !full then 10 else !trials in
+let run_campaign opts ~jobs =
+  let base = base_config opts in
+  let trials = if opts.Bench_cli.full then 10 else opts.Bench_cli.trials in
   Format.printf
-    "campaign: %d nodes, %d flows, %.0f s runs, %d trials x %d pause times x %d protocols@."
+    "campaign: %d nodes, %d flows, %.0f s runs, %d trials x %d pause times x \
+     %d protocols, %d job%s@."
     base.Sim.Config.nodes base.Sim.Config.flows base.Sim.Config.duration trials
     (List.length Sim.Config.paper_pause_times)
-    (List.length Sim.Config.all_protocols);
-  if not !full then
+    (List.length Sim.Config.all_protocols)
+    jobs
+    (if jobs = 1 then "" else "s");
+  if not opts.Bench_cli.full then
     Format.printf
       "(pause times scaled by %.3f to keep the paused-time fraction of the \
        paper's 900 s runs)@."
       (base.Sim.Config.duration /. 900.0);
-  let progress = if !quiet then fun _ -> () else prerr_endline in
-  let pause_scale =
-    if !full then 1.0 else base.Sim.Config.duration /. 900.0
+  let progress =
+    if opts.Bench_cli.quiet then fun _ -> () else prerr_endline
   in
-  Sim.Experiment.run ~pause_scale ~base
-    ~protocols:Sim.Config.all_protocols
-    ~pauses:Sim.Config.paper_pause_times ~trials ~progress
+  let pause_scale =
+    if opts.Bench_cli.full then 1.0 else base.Sim.Config.duration /. 900.0
+  in
+  let started = Unix.gettimeofday () in
+  let campaign =
+    Sim.Experiment.run ~jobs ~pause_scale ~base
+      ~protocols:Sim.Config.all_protocols
+      ~pauses:Sim.Config.paper_pause_times ~trials ~progress
+  in
+  (campaign, Unix.gettimeofday () -. started)
+
+(* The throughput record appended to the campaign JSON. Normalised
+   events/s/job is what the regression gate compares: it is stable across
+   differing [-j] settings on the same machine. *)
+let perf_member ~jobs ~wall ~sequential_wall campaign =
+  let events = campaign.Sim.Experiment.engine_events in
+  let eps = if wall > 0.0 then float_of_int events /. wall else 0.0 in
+  J.Obj
+    ([
+       ("jobs", J.Int jobs);
+       ("wall_seconds", J.Float wall);
+       ("engine_events", J.Int events);
+       ("events_per_sec", J.Float eps);
+       ("events_per_sec_per_job", J.Float (eps /. float_of_int jobs));
+     ]
+    @
+    match sequential_wall with
+    | None -> []
+    | Some sw ->
+        [
+          ("sequential_wall_seconds", J.Float sw);
+          ("speedup", J.Float (if wall > 0.0 then sw /. wall else 0.0));
+        ])
+
+let regression_gate ~baseline_path ~fresh_json =
+  let fail msg =
+    Format.eprintf "regression gate: %s@." msg;
+    exit 2
+  in
+  let contents =
+    try In_channel.with_open_text baseline_path In_channel.input_all
+    with Sys_error e -> fail e
+  in
+  let baseline =
+    match J.parse contents with
+    | Ok j -> j
+    | Error e -> fail (baseline_path ^ ": " ^ e)
+  in
+  let number path j =
+    match J.path path j with
+    | Some (J.Float x) -> x
+    | Some (J.Int n) -> float_of_int n
+    | _ -> fail (baseline_path ^ ": missing " ^ path)
+  in
+  let base_rate = number "perf.events_per_sec_per_job" baseline in
+  let fresh_rate = number "perf.events_per_sec_per_job" fresh_json in
+  let floor = 0.75 *. base_rate in
+  Format.printf
+    "regression gate: fresh %.0f events/s/job vs baseline %.0f (floor %.0f)@."
+    fresh_rate base_rate floor;
+  if fresh_rate < floor then begin
+    Format.eprintf
+      "regression gate FAILED: %.0f events/s/job is below 75%% of the \
+       committed baseline %.0f@."
+      fresh_rate base_rate;
+    exit 3
+  end
 
 (* ------------------------------------------------------------------ *)
-(* Micro-benchmarks of the label machinery (E7, Bechamel) *)
+(* Micro-benchmarks (E7, Bechamel) *)
 
-let micro () =
-  let module F = Slr.Fraction in
-  let module O = Slr.Ordering in
+let run_micro_tests tests =
   let open Bechamel in
-  let a = F.make ~num:610 ~den:987 in
-  let b = F.make ~num:987 ~den:1597 in
-  let oa = O.make ~sn:3 ~frac:a in
-  let ob = O.make ~sn:3 ~frac:b in
-  let big_lo = F.make ~num:1_000_003 ~den:2_000_003 in
-  let big_hi = F.make ~num:2_000_005 ~den:3_999_999 in
-  let ba = Slr.Bigfrac.of_ints ~num:610 ~den:987 in
-  let bb = Slr.Bigfrac.of_ints ~num:987 ~den:1597 in
-  let tests =
-    [
-      Test.make ~name:"Fraction.compare"
-        (Staged.stage (fun () -> ignore (F.compare a b)));
-      Test.make ~name:"Fraction.mediant"
-        (Staged.stage (fun () -> ignore (F.mediant a b)));
-      Test.make ~name:"Ordering.precedes"
-        (Staged.stage (fun () -> ignore (O.precedes ob oa)));
-      Test.make ~name:"New_order.compute"
-        (Staged.stage (fun () ->
-             ignore (Slr.New_order.compute ~current:oa ~cached:O.unassigned ~adv:ob)));
-      Test.make ~name:"Farey.simplest_between"
-        (Staged.stage (fun () ->
-             ignore (Slr.Farey.simplest_between ~lo:big_lo ~hi:big_hi)));
-      Test.make ~name:"Bigfrac.mediant"
-        (Staged.stage (fun () -> ignore (Slr.Bigfrac.mediant ba bb)));
-    ]
-  in
-  Format.printf "@.=== micro: label-arithmetic costs (E7) ===@.";
   List.iter
     (fun test ->
       let instances = [ Toolkit.Instance.monotonic_clock ] in
@@ -116,9 +138,90 @@ let micro () =
           | Some [ est ] -> Format.printf "%-30s %10.1f ns/op@." name est
           | _ -> Format.printf "%-30s (no estimate)@." name)
         results)
-    tests;
+    tests
+
+let micro_labels () =
+  let module F = Slr.Fraction in
+  let module O = Slr.Ordering in
+  let open Bechamel in
+  let a = F.make ~num:610 ~den:987 in
+  let b = F.make ~num:987 ~den:1597 in
+  let oa = O.make ~sn:3 ~frac:a in
+  let ob = O.make ~sn:3 ~frac:b in
+  let big_lo = F.make ~num:1_000_003 ~den:2_000_003 in
+  let big_hi = F.make ~num:2_000_005 ~den:3_999_999 in
+  let ba = Slr.Bigfrac.of_ints ~num:610 ~den:987 in
+  let bb = Slr.Bigfrac.of_ints ~num:987 ~den:1597 in
+  Format.printf "@.=== micro: label-arithmetic costs (E7) ===@.";
+  run_micro_tests
+    [
+      Test.make ~name:"Fraction.compare"
+        (Staged.stage (fun () -> ignore (F.compare a b)));
+      Test.make ~name:"Fraction.mediant"
+        (Staged.stage (fun () -> ignore (F.mediant a b)));
+      Test.make ~name:"Ordering.precedes"
+        (Staged.stage (fun () -> ignore (O.precedes ob oa)));
+      Test.make ~name:"New_order.compute"
+        (Staged.stage (fun () ->
+             ignore (Slr.New_order.compute ~current:oa ~cached:O.unassigned ~adv:ob)));
+      Test.make ~name:"Farey.simplest_between"
+        (Staged.stage (fun () ->
+             ignore (Slr.Farey.simplest_between ~lo:big_lo ~hi:big_hi)));
+      Test.make ~name:"Bigfrac.mediant"
+        (Staged.stage (fun () -> ignore (Slr.Bigfrac.mediant ba bb)));
+    ];
   Format.printf "worst-case mediant splits in 32 bits: %d (paper: 45)@."
     (Slr.Fraction.max_splits ())
+
+(* Channel hot path: one broadcast frame swept over 100 static nodes on the
+   paper terrain, naive full scan vs spatial grid, plus the cost of a
+   forced grid rebuild. Positions are static so the measurement isolates
+   the neighbour sweep from mobility lookups. *)
+let micro_channel () =
+  let open Bechamel in
+  let nodes = 100 in
+  let rng = Des.Rng.create 42L in
+  let points =
+    Array.init nodes (fun _ -> Wireless.Terrain.random_point Wireless.Terrain.paper rng)
+  in
+  let position i _time = points.(i) in
+  let range = Wireless.Radio.default.Wireless.Radio.range in
+  let cs_range = Wireless.Radio.default.Wireless.Radio.cs_range in
+  let make_channel grid =
+    let engine = Des.Engine.create () in
+    let ch =
+      Wireless.Channel.create ?grid engine ~nodes ~position ~range ~cs_range
+    in
+    (engine, ch)
+  in
+  let transmit_case (engine, ch) =
+    let src = ref 0 in
+    fun () ->
+      Wireless.Channel.transmit ch ~src:!src ~duration:1e-4 ();
+      Des.Engine.run_all engine;
+      src := (!src + 1) mod nodes
+  in
+  let naive = make_channel None in
+  let grid =
+    make_channel (Some { Wireless.Channel.max_speed = 0.0; epoch = 1e9 })
+  in
+  let g =
+    Wireless.Grid.create ~nodes ~position ~cell:(cs_range /. 2.0)
+      ~max_speed:0.0 ~epoch:1e9
+  in
+  let rebuild_now = ref 0.0 in
+  Format.printf "@.=== micro: channel hot path, %d nodes (E7) ===@." nodes;
+  run_micro_tests
+    [
+      Test.make ~name:"Channel.transmit (naive)"
+        (Staged.stage (transmit_case naive));
+      Test.make ~name:"Channel.transmit (grid)"
+        (Staged.stage (transmit_case grid));
+      Test.make ~name:"Grid.rebuild"
+        (Staged.stage (fun () ->
+             rebuild_now := !rebuild_now +. 1.0;
+             Wireless.Grid.rebuild g ~now:!rebuild_now));
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Ablations (E8) *)
@@ -172,9 +275,11 @@ let ablation_farey () =
     "(the Farey walk keeps labels far smaller, deferring the sequence-number reset)@."
 
 (* E8b: SRP's tunables under constant mobility. *)
-let ablation_srp_knobs () =
+let ablation_srp_knobs opts =
   Format.printf "@.=== ablation: SRP heuristics at pause 0 (E8b) ===@.";
-  let base = { (base_config ()) with Sim.Config.protocol = Sim.Config.Srp; pause = 0.0 } in
+  let base =
+    { (base_config opts) with Sim.Config.protocol = Sim.Config.Srp; pause = 0.0 }
+  in
   let run name srp =
     let r = Sim.Runner.run { base with Sim.Config.srp } in
     Format.printf "%-24s delivery %5.3f  load %7.3f  latency %6.3f  seqno %5.2f@."
@@ -198,13 +303,28 @@ let ablation_srp_knobs () =
 (* ------------------------------------------------------------------ *)
 
 let () =
-  parse_args ();
+  let opts =
+    match Bench_cli.parse (List.tl (Array.to_list Sys.argv)) with
+    | Ok opts -> opts
+    | Error msg ->
+        prerr_endline ("error: " ^ msg);
+        prerr_endline Bench_cli.usage;
+        exit 2
+  in
   let t0 = Unix.gettimeofday () in
-  if wants_campaign () then begin
-    let campaign = run_campaign () in
+  if wants_campaign opts then begin
+    let sequential_wall =
+      if opts.Bench_cli.compare_sequential && opts.Bench_cli.jobs > 1 then begin
+        Format.printf "sequential reference pass (-j 1):@.";
+        let _, wall = run_campaign opts ~jobs:1 in
+        Some wall
+      end
+      else None
+    in
+    let campaign, wall = run_campaign opts ~jobs:opts.Bench_cli.jobs in
     let ppf = Format.std_formatter in
     let section name render =
-      if wants name || wants "campaign" then begin
+      if wants opts name || wants opts "campaign" then begin
         Format.printf "@.";
         render ppf campaign
       end
@@ -215,16 +335,43 @@ let () =
     section "fig5" Sim.Report.fig5;
     section "fig6" Sim.Report.fig6;
     section "fig7" Sim.Report.fig7;
-    (* machine-readable twin of the tables above, for plotting scripts *)
-    let oc = open_out "BENCH_campaign.json" in
-    output_string oc (Trace.Json.to_string (Sim.Report.campaign_json campaign));
+    (* machine-readable twin of the tables above, for plotting scripts;
+       the perf member rides along for the regression gate but the
+       campaign members themselves are byte-identical whatever -j was *)
+    let json =
+      match Sim.Report.campaign_json campaign with
+      | J.Obj members ->
+          J.Obj
+            (members
+            @ [
+                ( "perf",
+                  perf_member ~jobs:opts.Bench_cli.jobs ~wall ~sequential_wall
+                    campaign );
+              ])
+      | other -> other
+    in
+    let oc = open_out opts.Bench_cli.out in
+    output_string oc (J.to_string json);
     output_char oc '\n';
     close_out oc;
-    Format.printf "@.campaign JSON written to BENCH_campaign.json@."
+    Format.printf "@.campaign JSON written to %s@." opts.Bench_cli.out;
+    (match sequential_wall with
+    | Some sw ->
+        Format.printf "parallel speedup at -j %d: %.2fx (%.1fs -> %.1fs)@."
+          opts.Bench_cli.jobs
+          (if wall > 0.0 then sw /. wall else 0.0)
+          sw wall
+    | None -> ());
+    match opts.Bench_cli.baseline with
+    | Some baseline_path -> regression_gate ~baseline_path ~fresh_json:json
+    | None -> ()
   end;
-  if wants "micro" then micro ();
-  if wants "ablation" then begin
+  if wants opts "micro" then begin
+    micro_labels ();
+    micro_channel ()
+  end;
+  if wants opts "ablation" then begin
     ablation_farey ();
-    ablation_srp_knobs ()
+    ablation_srp_knobs opts
   end;
   Format.printf "@.total wall time: %.1f s@." (Unix.gettimeofday () -. t0)

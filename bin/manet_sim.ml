@@ -126,6 +126,9 @@ let config_term =
     faults;
   }
 
+let jobs_term ~doc =
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
+
 let write_json path json =
   let oc = open_out path in
   output_string oc (Trace.Json.to_string json);
@@ -165,7 +168,14 @@ let run_cmd =
         & opt (some string) None
         & info [ "json" ]
             ~doc:"Write the run's config and metrics to $(docv) as JSON.")
+    and+ jobs =
+      jobs_term
+        ~doc:
+          "Worker domains. A single run is one sequential event loop, so \
+           this is accepted for interface symmetry with $(b,campaign) and \
+           $(b,fuzz) but values above 1 change nothing here."
     in
+    ignore (jobs : int);
     let config = { config with Sim.Config.protocol } in
     let trace_oc = Option.map open_out trace_file in
     let trace =
@@ -210,11 +220,18 @@ let campaign_cmd =
             ~doc:
               "Write the campaign (per-cell metric summaries over the \
                protocol and pause axes) to $(docv) as JSON.")
+    and+ jobs =
+      jobs_term
+        ~doc:
+          "Run (protocol, pause, trial) cells on $(docv) worker domains. \
+           Per-cell results are merged in canonical order, so the report \
+           and --json output are byte-identical to -j 1; only stderr \
+           progress interleaving varies."
     in
     let progress = if quiet then fun _ -> () else prerr_endline in
     let pause_scale = Stdlib.min 1.0 (config.Sim.Config.duration /. 900.0) in
     let campaign =
-      Sim.Experiment.run ~pause_scale ~base:config
+      Sim.Experiment.run ~jobs ~pause_scale ~base:config
         ~protocols:Sim.Config.all_protocols
         ~pauses:Sim.Config.paper_pause_times ~trials ~progress
     in
@@ -449,6 +466,12 @@ let fuzz_cmd =
       Arg.(
         value & flag
         & info [ "list" ] ~doc:"List the property catalogue and exit.")
+    and+ jobs =
+      jobs_term
+        ~doc:
+          "Run catalogue properties on $(docv) worker domains. Every case \
+           draws from its own prop#case substream, so outcomes and reports \
+           are identical to -j 1."
     in
     if list_props then
       List.iter
@@ -471,8 +494,9 @@ let fuzz_cmd =
           Printf.eprintf "fuzz: unknown property %S (see --list)\n" name;
           exit 2
       | _ -> ());
+      let map f cells = Array.to_list (Sim.Pool.map ~jobs f (Array.of_list cells)) in
       let outcomes =
-        Check.Runner.run_suite ~seed ~max_cases ?only:prop ?start:replay
+        Check.Runner.run_suite ~map ~seed ~max_cases ?only:prop ?start:replay
           fuzz_catalogue
       in
       List.iter

@@ -668,6 +668,130 @@ let prop_wire_model =
   Runner.cell ~cost:5 ~name:"srp-wire-model" ~print:wire_print wire_gen
     wire_law
 
+(* ------------------------------------------------------------------ *)
+(* Spatial grid vs naive channel scan: the grid's candidate set must be a
+   superset of the exact in-range set, and a channel backed by it must be
+   observationally identical to the full O(N) sweep — same deliveries,
+   same collisions, in the same engine order. Mobile nodes exercise the
+   staleness slack (radius inflated by max_speed since the last rebuild). *)
+
+type channel_case = {
+  cnodes : int;
+  cseed : int;
+  cpause : float;
+  ctx : (int * int * int) list;  (** (src, quarter-second slot, duration idx) *)
+}
+
+let tx_durations = [| 0.002; 0.05; 0.3 |]
+
+let channel_gen =
+  Gen.bind (Gen.int_range 2 10) (fun cnodes ->
+      Gen.map2
+        (fun (cseed, cpause) ctx -> { cnodes; cseed; cpause; ctx })
+        (Gen.pair
+           (Gen.no_shrink (Gen.int_range 0 1_000_000))
+           (Gen.elements [ 0.0; 1.0; 1000.0 ]))
+        (Gen.list_size (Gen.int_range 1 15)
+           (Gen.triple
+              (Gen.int_range 0 (cnodes - 1))
+              (Gen.int_range 0 20)
+              (Gen.int_range 0 (Array.length tx_durations - 1)))))
+
+let channel_print c =
+  asprintf "nodes=%d seed=%d pause=%.0f tx=[%a]" c.cnodes c.cseed c.cpause
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       (fun ppf (src, q, d) ->
+         Format.fprintf ppf "%d@%.2fs/%.3f" src
+           (0.25 *. float_of_int q)
+           tx_durations.(d)))
+    c.ctx
+
+let channel_grid_law c =
+  let terrain = Wireless.Terrain.make ~width:600.0 ~height:300.0 in
+  let range = 150.0 and cs_range = 330.0 in
+  let max_speed = 25.0 in
+  let rng = Des.Rng.create (Int64.of_int c.cseed) in
+  let scripts =
+    Array.init c.cnodes (fun i ->
+        Wireless.Waypoint.generate ~terrain
+          ~rng:(Des.Rng.split rng (Printf.sprintf "node%d" i))
+          ~pause:c.cpause ~speed_min:1.0 ~speed_max:max_speed ~duration:6.0)
+  in
+  let position i t = Wireless.Waypoint.position scripts.(i) t in
+  let run grid =
+    let engine = Des.Engine.create () in
+    let ch =
+      Wireless.Channel.create ?grid engine ~nodes:c.cnodes ~position ~range
+        ~cs_range
+    in
+    let log = ref [] in
+    for i = 0 to c.cnodes - 1 do
+      Wireless.Channel.set_receiver ch i (fun ~src pdu ->
+          log := (Des.Engine.now engine, i, src, pdu) :: !log)
+    done;
+    List.iteri
+      (fun k (src, q, d) ->
+        ignore
+          (Des.Engine.schedule_at engine
+             ~time:(0.25 *. float_of_int q)
+             (fun () ->
+               Wireless.Channel.transmit ch ~src ~duration:tx_durations.(d) k)))
+      c.ctx;
+    Des.Engine.run_all engine;
+    ( List.rev !log,
+      Wireless.Channel.collisions ch,
+      List.init c.cnodes (Wireless.Channel.collisions_at ch) )
+  in
+  let log_n, coll_n, per_n = run None in
+  let log_g, coll_g, per_g =
+    run (Some { Wireless.Channel.max_speed; epoch = 0.25 })
+  in
+  if log_n <> log_g then
+    Error
+      (Printf.sprintf "delivery logs diverge: naive %d entries, grid %d"
+         (List.length log_n) (List.length log_g))
+  else if coll_n <> coll_g then
+    Error (Printf.sprintf "collision totals diverge: %d vs %d" coll_n coll_g)
+  else if per_n <> per_g then Error "per-node collision counts diverge"
+  else begin
+    (* candidate-superset oracle on a standalone grid, queried at each
+       transmission instant against the brute-force in-range set *)
+    let grid =
+      Wireless.Grid.create ~nodes:c.cnodes ~position ~cell:(cs_range /. 2.0)
+        ~max_speed ~epoch:0.25
+    in
+    let missing =
+      List.find_map
+        (fun (src, q, _) ->
+          let now = 0.25 *. float_of_int q in
+          let center = position src now in
+          let seen = Array.make c.cnodes false in
+          Wireless.Grid.iter grid ~now ~center ~radius:cs_range (fun j ->
+              seen.(j) <- true);
+          let rec scan j =
+            if j >= c.cnodes then None
+            else if
+              Wireless.Vec2.dist center (position j now) <= cs_range
+              && not seen.(j)
+            then Some (now, j)
+            else scan (j + 1)
+          in
+          scan 0)
+        c.ctx
+    in
+    match missing with
+    | Some (now, j) ->
+        Error
+          (Printf.sprintf
+             "grid candidates at t=%.2f miss in-range node %d" now j)
+    | None -> Ok ()
+  end
+
+let prop_channel_grid =
+  Runner.cell ~cost:2 ~name:"channel-grid-equiv" ~print:channel_print
+    channel_gen channel_grid_law
+
 let all =
   [
     prop_mediant;
@@ -682,4 +806,5 @@ let all =
     prop_seen_cache;
     prop_pending;
     prop_wire_model;
+    prop_channel_grid;
   ]

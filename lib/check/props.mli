@@ -1,8 +1,9 @@
 (** The pure property catalogue: label arithmetic, Algorithm 1, Farey
-    interpolation, abstract SLR loop freedom, and SRP-over-wire model
-    agreement. Everything here runs without the full simulator; the
-    sim-level properties live in [Sim.Fuzz] and the CLI concatenates both
-    catalogues. *)
+    interpolation, abstract SLR loop freedom, SRP-over-wire model
+    agreement, and spatial-grid/naive channel equivalence
+    ([channel-grid-equiv]). Everything here runs without the full
+    simulator; the sim-level properties live in [Sim.Fuzz] and the CLI
+    concatenates both catalogues. *)
 
 (** Reusable generators (also used by the unit-test suites). *)
 

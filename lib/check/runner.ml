@@ -102,13 +102,13 @@ let report outcome ~name =
             (replay_line ~prop:f.prop ~seed:f.seed ~case:f.case);
         ]
 
-let run_suite ~seed ~max_cases ?only ?start cells =
+let run_suite ?map:(map_cells = List.map) ~seed ~max_cases ?only ?start cells =
   let selected =
     match only with
     | None -> cells
     | Some name -> List.filter (fun (Packed c) -> c.name = name) cells
   in
-  List.map
+  map_cells
     (fun (Packed c as p) ->
       let outcome =
         match start with

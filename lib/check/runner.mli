@@ -59,8 +59,16 @@ val replay_line : prop:string -> seed:int -> case:int -> string
     entry (or just the [only]-named one), scaling [max_cases] down by each
     cell's [cost] (minimum 1 case). [start] (replay mode) runs exactly one
     case per selected cell at that index. Returns per-cell outcomes in
-    catalogue order. *)
+    catalogue order.
+
+    [map] (default [List.map]) applies the per-cell runner to the selected
+    catalogue; pass an order-preserving parallel map (e.g. [Sim.Pool.map]
+    behind list conversions) to spread properties over domains — every
+    case draws from its own [prop#case] substream, so outcomes are
+    identical however cells are scheduled. *)
 val run_suite :
+  ?map:
+    (((packed -> string * outcome) -> packed list -> (string * outcome) list)) ->
   seed:int ->
   max_cases:int ->
   ?only:string ->

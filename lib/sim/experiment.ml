@@ -13,6 +13,7 @@ type t = {
   pauses : float list;
   trials : int;
   cells : (Config.protocol * float, cell) Hashtbl.t;
+  mutable engine_events : int;
 }
 
 let fresh_cell () =
@@ -42,32 +43,54 @@ let record c (r : Metrics.result) =
   if r.Metrics.max_denominator > c.max_denominator then
     c.max_denominator <- r.Metrics.max_denominator
 
-let run ~pause_scale ~base ~protocols ~pauses ~trials ~progress =
-  let t = { base; protocols; pauses; trials; cells = Hashtbl.create 64 } in
-  List.iter
-    (fun pause ->
-      for trial = 0 to trials - 1 do
-        List.iter
-          (fun protocol ->
-            let config =
-              {
-                base with
-                Config.protocol;
-                pause = pause *. pause_scale;
-                seed = base.Config.seed + trial;
-              }
-            in
-            let started = Unix.gettimeofday () in
-            let result = Runner.run config in
-            record (cell t protocol pause) result;
-            progress
-              (Format.asprintf "%-5s pause=%4.0f trial=%d  %a  (%.1fs)"
-                 (Config.protocol_name protocol)
-                 pause trial Metrics.pp_result result
-                 (Unix.gettimeofday () -. started)))
-          protocols
-      done)
-    pauses;
+let run ~jobs ~pause_scale ~base ~protocols ~pauses ~trials ~progress =
+  let t =
+    { base; protocols; pauses; trials; cells = Hashtbl.create 64;
+      engine_events = 0 }
+  in
+  (* one array slot per (pause, trial, protocol) cell, laid out in the
+     sequential iteration order; workers race over the slots but the merge
+     below replays them in this canonical order, so every Summary sees the
+     same adds in the same sequence and the report stays byte-identical
+     whatever [jobs] is *)
+  let specs =
+    Array.of_list
+      (List.concat_map
+         (fun pause ->
+           List.concat_map
+             (fun trial ->
+               List.map (fun protocol -> (pause, trial, protocol)) protocols)
+             (List.init trials Fun.id))
+         pauses)
+  in
+  let progress_mutex = Mutex.create () in
+  let run_one (pause, trial, protocol) =
+    let config =
+      {
+        base with
+        Config.protocol;
+        pause = pause *. pause_scale;
+        seed = base.Config.seed + trial;
+      }
+    in
+    let started = Unix.gettimeofday () in
+    let result = Runner.run config in
+    let line =
+      Format.asprintf "%-5s pause=%4.0f trial=%d  %a  (%.1fs)"
+        (Config.protocol_name protocol)
+        pause trial Metrics.pp_result result
+        (Unix.gettimeofday () -. started)
+    in
+    Mutex.protect progress_mutex (fun () -> progress line);
+    result
+  in
+  let results = Pool.map ~jobs run_one specs in
+  Array.iteri
+    (fun k result ->
+      let pause, _trial, protocol = specs.(k) in
+      record (cell t protocol pause) result;
+      t.engine_events <- t.engine_events + result.Metrics.engine_events)
+    results;
   t
 
 let overall t protocol =

@@ -18,12 +18,22 @@ type t = {
   pauses : float list;
   trials : int;
   cells : (Config.protocol * float, cell) Hashtbl.t;
+  mutable engine_events : int;
+      (** engine events executed across every run of the campaign *)
 }
 
 (** [run ~base ~protocols ~pauses ~trials ~progress] executes the campaign.
     Trial [k] uses seed [base.seed + k] for every protocol.
     [progress] is called after each completed run with a human-readable
     line (pass [ignore] to silence).
+
+    [jobs] farms the (protocol, pause, trial) cells out to that many
+    domains ({!Pool.map}). Each cell is an isolated deterministic
+    simulation (own engine, own splitmix64 substreams seeded from
+    [base.seed + trial]) and per-cell results are merged in the sequential
+    iteration order afterwards, so the aggregated campaign — report tables
+    and JSON alike — is byte-identical whatever [jobs] is; only the
+    interleaving of [progress] lines (and their wall-clock stamps) varies.
 
     [pause_scale] multiplies each pause time before simulating (pass 1.0
     for the paper's scale),
@@ -32,6 +42,7 @@ type t = {
     120 s run" describe the same fraction of time spent paused — otherwise
     every pause longer than the run collapses to "static". *)
 val run :
+  jobs:int ->
   pause_scale:float ->
   base:Config.t ->
   protocols:Config.protocol list ->

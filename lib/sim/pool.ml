@@ -1,0 +1,34 @@
+let default_jobs () = Domain.recommended_domain_count ()
+
+let map ~jobs f items =
+  let n = Array.length items in
+  let jobs = Stdlib.max 1 (Stdlib.min jobs n) in
+  if jobs = 1 then Array.map f items
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let error : exn option Atomic.t = Atomic.make None in
+    (* work stealing over a shared counter: cell runtimes vary wildly
+       across protocols and pause times, so static slicing would leave
+       domains idle behind the slowest stripe *)
+    let rec worker () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n && Atomic.get error = None then begin
+        (match f items.(i) with
+        | v -> results.(i) <- Some v
+        | exception e -> ignore (Atomic.compare_and_set error None (Some e)));
+        worker ()
+      end
+    in
+    let domains = Array.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join domains;
+    match Atomic.get error with
+    | Some e -> raise e
+    | None ->
+        Array.map
+          (function
+            | Some v -> v
+            | None -> invalid_arg "Pool.map: worker left a hole")
+          results
+  end

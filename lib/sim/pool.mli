@@ -1,0 +1,17 @@
+(** Domain-based worker pool for embarrassingly parallel simulation work.
+
+    [map] preserves input order exactly: result [i] is [f items.(i)]
+    whatever the number of workers, so callers that fold results in array
+    order see the same bytes at [-j 1] and [-j N]. Each [f items.(i)] must
+    be self-contained (own engine, own RNG substream — which every
+    [Runner.run] is); the pool adds no synchronisation around [f] beyond
+    the work-stealing counter. *)
+
+(** The runtime's recommendation for this machine (physical parallelism). *)
+val default_jobs : unit -> int
+
+(** [map ~jobs f items] applies [f] to every element, using up to [jobs]
+    domains (clamped to [1 .. Array.length items]; [jobs <= 1] runs inline
+    with no domains spawned). The first exception raised by any [f] is
+    re-raised in the caller after all workers have stopped. *)
+val map : jobs:int -> ('a -> 'b) -> 'a array -> 'b array

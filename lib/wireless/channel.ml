@@ -4,6 +4,8 @@ type reception = {
   dist : float;  (** sender-to-receiver distance at frame start *)
 }
 
+type grid = { max_speed : float; epoch : float }
+
 type 'a t = {
   engine : Des.Engine.t;
   trace : Trace.t;
@@ -27,10 +29,23 @@ type 'a t = {
   mutable air : (int * float) list;
   mutable collision_count : int;
   collision_at : int array;
+  (* spatial index pruning the per-frame neighbour scan; None = full scan *)
+  grid : Grid.t option;
+  (* per-(node, time) position memo: one frame event looks the same nodes
+     up at the same instant many times, and Waypoint.position is a binary
+     search per call *)
+  pos_at : float array;
+  pos_v : Vec2.t array;
 }
 
-let create ?(trace = Trace.null) engine ~nodes ~position ~range ~cs_range =
+let create ?(trace = Trace.null) ?grid engine ~nodes ~position ~range ~cs_range =
   if cs_range < range then invalid_arg "Channel.create: cs_range < range";
+  let grid =
+    Option.map
+      (fun { max_speed; epoch } ->
+        Grid.create ~nodes ~position ~cell:(cs_range /. 2.0) ~max_speed ~epoch)
+      grid
+  in
   {
     engine;
     trace;
@@ -48,6 +63,9 @@ let create ?(trace = Trace.null) engine ~nodes ~position ~range ~cs_range =
     air = [];
     collision_count = 0;
     collision_at = Array.make nodes 0;
+    grid;
+    pos_at = Array.make (Stdlib.max nodes 1) nan;
+    pos_v = Array.make (Stdlib.max nodes 1) Vec2.zero;
   }
 
 let set_receiver t i f = t.receivers.(i) <- Some f
@@ -59,6 +77,16 @@ let deliverable t ~src ~dst =
 
 let now t = Des.Engine.now t.engine
 
+(* nan stamps never compare equal, so the first lookup always misses *)
+let pos t i time =
+  if t.pos_at.(i) = time then t.pos_v.(i)
+  else begin
+    let p = t.position i time in
+    t.pos_at.(i) <- time;
+    t.pos_v.(i) <- p;
+    p
+  end
+
 let prune t =
   let time = now t in
   (* keep entries through the guard window: busy needs them *)
@@ -68,7 +96,7 @@ let transmitting t i = t.tx_until.(i) > now t
 
 let within t a b ~radius =
   let time = now t in
-  Vec2.dist_sq (t.position a time) (t.position b time) <= radius *. radius
+  Vec2.dist_sq (pos t a time) (pos t b time) <= radius *. radius
 
 let in_range t a b = within t a b ~radius:t.range
 
@@ -102,15 +130,25 @@ let busy_until t i =
 
 let neighbors t i =
   let time = now t in
-  let pos_i = t.position i time in
+  let pos_i = pos t i time in
   let result = ref [] in
-  for j = t.nodes - 1 downto 0 do
+  let consider j =
     if
       j <> i
-      && Vec2.dist_sq pos_i (t.position j time) <= t.range *. t.range
+      && Vec2.dist_sq pos_i (pos t j time) <= t.range *. t.range
     then result := j :: !result
-  done;
-  !result
+  in
+  match t.grid with
+  | None ->
+      for j = t.nodes - 1 downto 0 do
+        consider j
+      done;
+      !result
+  | Some g ->
+      (* candidates arrive ascending, so reversing restores the naive
+         ascending result list *)
+      Grid.iter g ~now:time ~center:pos_i ~radius:t.range consider;
+      List.rev !result
 
 let corrupt t node rx =
   if not rx.corrupted then begin
@@ -145,10 +183,10 @@ let transmit t ~src ~duration pdu =
   t.rx_active.(src) <-
     List.filter (fun rx -> rx.rx_end > time) t.rx_active.(src);
   List.iter (corrupt t src) t.rx_active.(src);
-  let pos_src = t.position src time in
-  for j = 0 to t.nodes - 1 do
+  let pos_src = pos t src time in
+  let touch j =
     if j <> src then begin
-      let pos_j = t.position j time in
+      let pos_j = pos t j time in
       let d = Vec2.dist pos_src pos_j in
       if d <= t.range then begin
         if transmitting t j then ()
@@ -164,7 +202,7 @@ let transmit t ~src ~duration pdu =
           List.iter
             (fun (other_src, until) ->
               if other_src <> src && other_src <> j && until > time then begin
-                let di = Vec2.dist (t.position other_src time) pos_j in
+                let di = Vec2.dist (pos t other_src time) pos_j in
                 if di > t.range && di <= t.cs_range then
                   interfere t j rx ~interferer_dist:di
               end)
@@ -193,8 +231,19 @@ let transmit t ~src ~duration pdu =
           t.rx_active.(j)
       end
     end
-  done
+  in
+  (* nodes farther than cs_range are untouched by the body above, so
+     sweeping only the grid's superset of the cs_range disc is exact *)
+  match t.grid with
+  | None ->
+      for j = 0 to t.nodes - 1 do
+        touch j
+      done
+  | Some g -> Grid.iter g ~now:time ~center:pos_src ~radius:t.cs_range touch
 
 let collisions t = t.collision_count
 
 let collisions_at t i = t.collision_at.(i)
+
+let grid_rebuilds t =
+  match t.grid with None -> 0 | Some g -> Grid.rebuilds g

@@ -13,10 +13,22 @@
 
 type 'a t
 
+(** Enables the spatial-grid hot path: neighbour scans in [transmit] and
+    [neighbors] sweep only hash-grid buckets covering the query disc
+    instead of all N nodes. [max_speed] must bound every node's speed and
+    [epoch] is the maximum grid staleness before a lazy rebuild; the two
+    together size the query slack that keeps the candidate set a superset
+    of the exact in-range set, so results are identical to the naive scan
+    (enforced by the [channel-grid-equiv] property). *)
+type grid = { max_speed : float; epoch : float }
+
 (** @raise Invalid_argument when [cs_range < range]. [trace] records a
-    [mac-collision] event at each receiver-side corruption. *)
+    [mac-collision] event at each receiver-side corruption. [grid] switches
+    the O(N)-per-frame neighbour scan to the spatial hash grid; omitted,
+    the channel scans every node (the reference behaviour). *)
 val create :
   ?trace:Trace.t ->
+  ?grid:grid ->
   Des.Engine.t ->
   nodes:int ->
   position:(int -> float -> Vec2.t) ->
@@ -58,3 +70,6 @@ val collisions : 'a t -> int
 
 (** Collisions suffered per node (as receiver). *)
 val collisions_at : 'a t -> int -> int
+
+(** Spatial-grid rebuilds performed so far; 0 on a naive-scan channel. *)
+val grid_rebuilds : 'a t -> int

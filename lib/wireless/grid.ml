@@ -1,0 +1,164 @@
+type t = {
+  nodes : int;
+  position : int -> float -> Vec2.t;
+  cell : float;
+  max_speed : float;
+  epoch : float;
+  mutable built_at : float;  (** nan until the first rebuild *)
+  mutable ox : float;
+  mutable oy : float;
+  mutable cols : int;
+  mutable rows : int;
+  (* CSR layout: bucket b holds ids.(off.(b) .. off.(b+1) - 1), ascending *)
+  mutable off : int array;
+  ids : int array;
+  xs : float array;
+  ys : float array;
+  (* query scratch: candidates gathered here, then sorted in place *)
+  gather : int array;
+  (* query scratch for dense candidate sets: membership mask *)
+  mask : bool array;
+  mutable rebuild_count : int;
+}
+
+let create ~nodes ~position ~cell ~max_speed ~epoch =
+  if cell <= 0.0 then invalid_arg "Grid.create: cell must be positive";
+  if epoch <= 0.0 then invalid_arg "Grid.create: epoch must be positive";
+  if max_speed < 0.0 then invalid_arg "Grid.create: negative max_speed";
+  {
+    nodes;
+    position;
+    cell;
+    max_speed;
+    epoch;
+    built_at = nan;
+    ox = 0.0;
+    oy = 0.0;
+    cols = 0;
+    rows = 0;
+    off = [||];
+    ids = Array.make (Stdlib.max nodes 1) 0;
+    xs = Array.make (Stdlib.max nodes 1) 0.0;
+    ys = Array.make (Stdlib.max nodes 1) 0.0;
+    gather = Array.make (Stdlib.max nodes 1) 0;
+    mask = Array.make (Stdlib.max nodes 1) false;
+    rebuild_count = 0;
+  }
+
+let bucket t x y =
+  let bx = int_of_float ((x -. t.ox) /. t.cell) in
+  let by = int_of_float ((y -. t.oy) /. t.cell) in
+  (by * t.cols) + bx
+
+let rebuild t ~now =
+  if t.nodes > 0 then begin
+    let minx = ref infinity and miny = ref infinity in
+    let maxx = ref neg_infinity and maxy = ref neg_infinity in
+    for i = 0 to t.nodes - 1 do
+      let p = t.position i now in
+      t.xs.(i) <- p.Vec2.x;
+      t.ys.(i) <- p.Vec2.y;
+      if p.Vec2.x < !minx then minx := p.Vec2.x;
+      if p.Vec2.x > !maxx then maxx := p.Vec2.x;
+      if p.Vec2.y < !miny then miny := p.Vec2.y;
+      if p.Vec2.y > !maxy then maxy := p.Vec2.y
+    done;
+    t.ox <- !minx;
+    t.oy <- !miny;
+    t.cols <- 1 + int_of_float ((!maxx -. !minx) /. t.cell);
+    t.rows <- 1 + int_of_float ((!maxy -. !miny) /. t.cell);
+    let buckets = t.cols * t.rows in
+    if Array.length t.off <> buckets + 1 then t.off <- Array.make (buckets + 1) 0
+    else Array.fill t.off 0 (buckets + 1) 0;
+    for i = 0 to t.nodes - 1 do
+      let b = bucket t t.xs.(i) t.ys.(i) in
+      t.off.(b + 1) <- t.off.(b + 1) + 1
+    done;
+    for b = 1 to buckets do
+      t.off.(b) <- t.off.(b) + t.off.(b - 1)
+    done;
+    let cursor = Array.copy t.off in
+    for i = 0 to t.nodes - 1 do
+      let b = bucket t t.xs.(i) t.ys.(i) in
+      t.ids.(cursor.(b)) <- i;
+      cursor.(b) <- cursor.(b) + 1
+    done
+  end;
+  t.built_at <- now;
+  t.rebuild_count <- t.rebuild_count + 1
+
+let ensure t ~now =
+  if Float.is_nan t.built_at || now < t.built_at || now -. t.built_at > t.epoch
+  then rebuild t ~now
+
+let clampi v lo hi = if v < lo then lo else if v > hi then hi else v
+
+let iter t ~now ~center ~radius f =
+  if t.nodes > 0 then begin
+    ensure t ~now;
+    (* every node is at most max_speed * (now - built_at) away from the
+       position it was bucketed under, so inflating the radius by that
+       much makes the bucket sweep a guaranteed superset *)
+    let r = radius +. (t.max_speed *. (now -. t.built_at)) in
+    let bx0 = clampi (int_of_float ((center.Vec2.x -. r -. t.ox) /. t.cell)) 0 (t.cols - 1) in
+    let bx1 = clampi (int_of_float ((center.Vec2.x +. r -. t.ox) /. t.cell)) 0 (t.cols - 1) in
+    let by0 = clampi (int_of_float ((center.Vec2.y -. r -. t.oy) /. t.cell)) 0 (t.rows - 1) in
+    let by1 = clampi (int_of_float ((center.Vec2.y +. r -. t.oy) /. t.cell)) 0 (t.rows - 1) in
+    if bx0 = 0 && by0 = 0 && bx1 = t.cols - 1 && by1 = t.rows - 1 then
+      (* the query disc covers the whole occupied area (common when
+         cs_range rivals the terrain diagonal): skip the gather, every
+         node is a candidate *)
+      for j = 0 to t.nodes - 1 do
+        f j
+      done
+    else begin
+    let m = ref 0 in
+    for by = by0 to by1 do
+      for bx = bx0 to bx1 do
+        let b = (by * t.cols) + bx in
+        for k = t.off.(b) to t.off.(b + 1) - 1 do
+          t.gather.(!m) <- t.ids.(k);
+          incr m
+        done
+      done
+    done;
+    (* buckets interleave ids; visit candidates in ascending node order so
+       a grid-backed scan schedules engine events in exactly the order the
+       naive 0..N-1 loop does *)
+    if !m = t.nodes then
+      (* dense query (e.g. cs_range covering the whole terrain): the
+         candidate set is every node, already in order by construction *)
+      for j = 0 to t.nodes - 1 do
+        f j
+      done
+    else if !m * !m > 4 * t.nodes then begin
+      (* many candidates: an O(nodes + m) membership sweep beats the
+         quadratic insertion sort *)
+      for k = 0 to !m - 1 do
+        t.mask.(t.gather.(k)) <- true
+      done;
+      for j = 0 to t.nodes - 1 do
+        if t.mask.(j) then begin
+          t.mask.(j) <- false;
+          f j
+        end
+      done
+    end
+    else begin
+      for i = 1 to !m - 1 do
+        let v = t.gather.(i) in
+        let j = ref (i - 1) in
+        while !j >= 0 && t.gather.(!j) > v do
+          t.gather.(!j + 1) <- t.gather.(!j);
+          decr j
+        done;
+        t.gather.(!j + 1) <- v
+      done;
+      for k = 0 to !m - 1 do
+        f t.gather.(k)
+      done
+    end
+    end
+  end
+
+let rebuilds t = t.rebuild_count

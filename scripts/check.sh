@@ -30,8 +30,28 @@ dune exec bin/manet_sim.exe -- trace "$tmp/run.json" --validate \
   --require result.latency --require result.engine_events
 
 # fuzz smoke: the property-based suite (label arithmetic, Algorithm 1,
-# abstract SLR executions, SRP-vs-reference-model, packet conservation)
-# on a fixed seed must pass with zero violations
+# abstract SLR executions, SRP-vs-reference-model, packet conservation,
+# spatial-grid/naive channel equivalence) on a fixed seed must pass with
+# zero violations
 dune exec bin/manet_sim.exe -- fuzz --max-cases 200 --seed 7
+
+# parallel-determinism smoke: the same seeded campaign on 2 worker domains
+# must produce byte-identical stdout and JSON to the sequential run
+dune exec bin/manet_sim.exe -- campaign --nodes 20 --duration 10 \
+  --trials 1 --flows 3 --quiet -j 1 --json "$tmp/campaign_j1.json" \
+  > "$tmp/campaign_j1.txt" 2> /dev/null
+dune exec bin/manet_sim.exe -- campaign --nodes 20 --duration 10 \
+  --trials 1 --flows 3 --quiet -j 2 --json "$tmp/campaign_j2.json" \
+  > "$tmp/campaign_j2.txt" 2> /dev/null
+cmp "$tmp/campaign_j1.json" "$tmp/campaign_j2.json"
+cmp "$tmp/campaign_j1.txt" "$tmp/campaign_j2.txt"
+
+# throughput regression gate: rerun the committed baseline's reduced
+# campaign (same flags as the BENCH_campaign.json snapshot) and fail when
+# perf.events_per_sec_per_job drops below 75% of the committed number
+dune exec bench/main.exe -- campaign --trials 1 --duration 20 --flows 6 \
+  --quiet -j 4 --out "$tmp/bench_fresh.json" \
+  --check-regression BENCH_campaign.json > "$tmp/bench_out.txt" 2> /dev/null
+grep "regression gate" "$tmp/bench_out.txt"
 
 echo "check.sh: all green"

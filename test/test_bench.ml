@@ -1,0 +1,80 @@
+(* The benchmark harness's argument parser: malformed numbers and unknown
+   flags must come back as [Error] (the driver prints usage and exits 2)
+   instead of the uncaught [Failure "int_of_string"] the old parser died
+   with. *)
+
+let ok args =
+  match Bench_cli.parse args with
+  | Ok opts -> opts
+  | Error msg -> Alcotest.failf "expected Ok, got Error %S" msg
+
+let err args =
+  match Bench_cli.parse args with
+  | Ok _ -> Alcotest.failf "expected Error for %s" (String.concat " " args)
+  | Error msg ->
+      Alcotest.(check bool) "non-empty message" true (String.length msg > 0);
+      msg
+
+let test_defaults () =
+  let opts = ok [] in
+  Alcotest.(check int) "trials" 2 opts.Bench_cli.trials;
+  Alcotest.(check (float 0.0)) "duration" 120.0 opts.Bench_cli.duration;
+  Alcotest.(check int) "jobs" 1 opts.Bench_cli.jobs;
+  Alcotest.(check bool) "full" false opts.Bench_cli.full;
+  Alcotest.(check string) "out" "BENCH_campaign.json" opts.Bench_cli.out;
+  Alcotest.(check (list string)) "sections" [ "all" ] opts.Bench_cli.sections;
+  Alcotest.(check bool) "no baseline" true (opts.Bench_cli.baseline = None)
+
+let test_valid_parse () =
+  let opts =
+    ok
+      [ "micro"; "campaign"; "--trials"; "3"; "--duration"; "60"; "-j"; "4";
+        "--quiet"; "--out"; "fresh.json"; "--check-regression"; "base.json";
+        "--compare-sequential" ]
+  in
+  Alcotest.(check int) "trials" 3 opts.Bench_cli.trials;
+  Alcotest.(check (float 0.0)) "duration" 60.0 opts.Bench_cli.duration;
+  Alcotest.(check int) "jobs" 4 opts.Bench_cli.jobs;
+  Alcotest.(check bool) "quiet" true opts.Bench_cli.quiet;
+  Alcotest.(check string) "out" "fresh.json" opts.Bench_cli.out;
+  Alcotest.(check bool) "baseline" true
+    (opts.Bench_cli.baseline = Some "base.json");
+  Alcotest.(check bool) "compare-sequential" true
+    opts.Bench_cli.compare_sequential;
+  Alcotest.(check (list string)) "sections in order" [ "micro"; "campaign" ]
+    opts.Bench_cli.sections
+
+let test_malformed_numbers () =
+  ignore (err [ "--trials"; "three" ]);
+  ignore (err [ "--trials"; "0" ]);
+  ignore (err [ "--trials"; "-2" ]);
+  ignore (err [ "--flows"; "4.5" ]);
+  ignore (err [ "--duration"; "fast" ]);
+  ignore (err [ "--duration"; "-1" ]);
+  ignore (err [ "--jobs"; "0" ]);
+  ignore (err [ "-j"; "many" ])
+
+let test_missing_argument () =
+  ignore (err [ "--trials" ]);
+  ignore (err [ "--out" ]);
+  ignore (err [ "--check-regression" ])
+
+let test_unknown_inputs () =
+  let m = err [ "--frobnicate" ] in
+  Alcotest.(check bool) "names the flag" true
+    (String.length m >= 12 && String.sub m (String.length m - 12) 12 = "--frobnicate");
+  ignore (err [ "fig9" ]);
+  ignore (err [ "table1"; "nonsense" ])
+
+let () =
+  Alcotest.run "bench"
+    [
+      ( "cli",
+        [
+          Alcotest.test_case "defaults" `Quick test_defaults;
+          Alcotest.test_case "full flag set" `Quick test_valid_parse;
+          Alcotest.test_case "malformed numbers" `Quick test_malformed_numbers;
+          Alcotest.test_case "missing argument" `Quick test_missing_argument;
+          Alcotest.test_case "unknown flag/section" `Quick test_unknown_inputs;
+        ] );
+    ]

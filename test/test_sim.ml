@@ -222,7 +222,7 @@ let test_campaign_and_report () =
     }
   in
   let campaign =
-    Sim.Experiment.run ~pause_scale:1.0 ~base
+    Sim.Experiment.run ~jobs:1 ~pause_scale:1.0 ~base
       ~protocols:[ C.Srp; C.Aodv ]
       ~pauses:[ 0.0; 900.0 ] ~trials:2
       ~progress:(fun _ -> ())
@@ -247,6 +247,50 @@ let test_campaign_and_report () =
     (fun needle ->
       Alcotest.(check bool) (needle ^ " present") true (contains needle))
     [ "Table I"; "Fig. 3"; "Fig. 4"; "Fig. 5"; "Fig. 6"; "Fig. 7"; "SRP"; "AODV" ]
+
+(* ------------------------------------------------------------------ *)
+(* Worker pool + parallel equivalence *)
+
+let test_pool_map_order () =
+  let items = Array.init 37 Fun.id in
+  let f x = (x * x) + 1 in
+  let sequential = Sim.Pool.map ~jobs:1 f items in
+  let parallel = Sim.Pool.map ~jobs:4 f items in
+  Alcotest.(check (array int)) "jobs=1 matches Array.map" (Array.map f items)
+    sequential;
+  Alcotest.(check (array int)) "jobs=4 preserves order" sequential parallel;
+  Alcotest.(check (array int)) "empty input" [||] (Sim.Pool.map ~jobs:4 f [||]);
+  Alcotest.(check (array int)) "jobs beyond length" (Array.map f items)
+    (Sim.Pool.map ~jobs:64 f items)
+
+let test_pool_propagates_exception () =
+  let boom x = if x = 5 then failwith "boom" else x in
+  match Sim.Pool.map ~jobs:4 boom (Array.init 20 Fun.id) with
+  | _ -> Alcotest.fail "expected the worker's exception to re-raise"
+  | exception Failure msg -> Alcotest.(check string) "message" "boom" msg
+
+(* The tentpole gate: a same-seed campaign renders byte-identical reports
+   and JSON whether it ran on one domain or four. *)
+let test_campaign_parallel_equivalence () =
+  let base =
+    { (quick_config C.Srp) with C.duration = 15.0; nodes = 20; flows = 3 }
+  in
+  let campaign jobs =
+    Sim.Experiment.run ~jobs ~pause_scale:1.0 ~base
+      ~protocols:[ C.Srp; C.Aodv ]
+      ~pauses:[ 0.0; 900.0 ] ~trials:2
+      ~progress:(fun _ -> ())
+  in
+  let seq = campaign 1 in
+  let par = campaign 4 in
+  Alcotest.(check int) "same engine event total"
+    seq.Sim.Experiment.engine_events par.Sim.Experiment.engine_events;
+  Alcotest.(check string) "report bytes identical"
+    (Format.asprintf "%a" Sim.Report.all seq)
+    (Format.asprintf "%a" Sim.Report.all par);
+  Alcotest.(check string) "campaign JSON bytes identical"
+    (Trace.Json.to_string (Sim.Report.campaign_json seq))
+    (Trace.Json.to_string (Sim.Report.campaign_json par))
 
 let test_config_presets () =
   Alcotest.(check int) "paper nodes" 100 C.paper.C.nodes;
@@ -295,5 +339,13 @@ let () =
         [
           Alcotest.test_case "experiment + report" `Slow test_campaign_and_report;
           Alcotest.test_case "config presets" `Quick test_config_presets;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "pool preserves order" `Quick test_pool_map_order;
+          Alcotest.test_case "pool re-raises worker errors" `Quick
+            test_pool_propagates_exception;
+          Alcotest.test_case "-j 4 campaign byte-identical to -j 1" `Slow
+            test_campaign_parallel_equivalence;
         ] );
     ]

@@ -192,6 +192,91 @@ let test_channel_neighbors () =
   Alcotest.(check bool) "not in range" false (Ch.in_range ch 0 2)
 
 (* ------------------------------------------------------------------ *)
+(* Spatial hash grid *)
+
+let scatter ~seed n =
+  let rng = Des.Rng.create (Int64.of_int seed) in
+  Array.init n (fun _ -> T.random_point T.paper rng)
+
+let test_grid_superset () =
+  (* with max_speed 0 the inflated radius equals the query radius, and the
+     bucket sweep must still cover every node the exact disc contains *)
+  let n = 60 in
+  let points = scatter ~seed:9 n in
+  let g =
+    Wireless.Grid.create ~nodes:n
+      ~position:(fun i _ -> points.(i))
+      ~cell:100.0 ~max_speed:0.0 ~epoch:1.0
+  in
+  Array.iteri
+    (fun c center ->
+      List.iter
+        (fun radius ->
+          let candidates = Hashtbl.create 16 in
+          Wireless.Grid.iter g ~now:0.0 ~center ~radius (fun j ->
+              Hashtbl.replace candidates j ());
+          for j = 0 to n - 1 do
+            if V.dist center points.(j) <= radius then
+              Alcotest.(check bool)
+                (Printf.sprintf "node %d in candidates of query %d" j c)
+                true
+                (Hashtbl.mem candidates j)
+          done)
+        [ 50.0; 250.0; 550.0 ])
+    points
+
+let test_grid_ascending_order () =
+  let n = 80 in
+  let points = scatter ~seed:21 n in
+  let g =
+    Wireless.Grid.create ~nodes:n
+      ~position:(fun i _ -> points.(i))
+      ~cell:137.5 ~max_speed:20.0 ~epoch:0.25
+  in
+  Array.iter
+    (fun center ->
+      List.iter
+        (fun radius ->
+          let last = ref (-1) in
+          Wireless.Grid.iter g ~now:0.5 ~center ~radius (fun j ->
+              Alcotest.(check bool) "strictly ascending" true (j > !last);
+              last := j))
+        [ 100.0; 300.0; 550.0; 2000.0 ])
+    points
+
+let test_grid_channel_equivalence () =
+  (* the same broadcast schedule through a naive and a grid channel:
+     delivery logs and collision counters must agree exactly *)
+  let n = 40 in
+  let points = scatter ~seed:33 n in
+  let position i _ = points.(i) in
+  let run grid =
+    let e = Des.Engine.create () in
+    let ch = Ch.create ?grid e ~nodes:n ~position ~range:250.0 ~cs_range:550.0 in
+    let log = ref [] in
+    for i = 0 to n - 1 do
+      Ch.set_receiver ch i (fun ~src pdu ->
+          log := (Des.Engine.now e, i, src, pdu) :: !log)
+    done;
+    for k = 0 to 19 do
+      ignore
+        (Des.Engine.schedule_at e
+           ~time:(float_of_int k *. 3e-4)
+           (fun () -> Ch.transmit ch ~src:(k * 7 mod n) ~duration:1e-3 k))
+    done;
+    Des.Engine.run_all e;
+    (List.rev !log, Ch.collisions ch, List.init n (Ch.collisions_at ch))
+  in
+  let naive = run None in
+  let gridded = run (Some { Ch.max_speed = 0.0; epoch = 0.25 }) in
+  let log_n, coll_n, per_n = naive and log_g, coll_g, per_g = gridded in
+  Alcotest.(check int) "same delivery count" (List.length log_n)
+    (List.length log_g);
+  Alcotest.(check bool) "same delivery log" true (log_n = log_g);
+  Alcotest.(check int) "same collision total" coll_n coll_g;
+  Alcotest.(check (list int)) "same per-node collisions" per_n per_g
+
+(* ------------------------------------------------------------------ *)
 (* MAC *)
 
 type Frame.payload += Probe of int
@@ -340,6 +425,14 @@ let () =
           Alcotest.test_case "half duplex" `Quick test_channel_half_duplex;
           Alcotest.test_case "carrier sense" `Quick test_channel_carrier_sense;
           Alcotest.test_case "neighbors" `Quick test_channel_neighbors;
+        ] );
+      ( "grid",
+        [
+          Alcotest.test_case "candidate superset" `Quick test_grid_superset;
+          Alcotest.test_case "ascending iteration" `Quick
+            test_grid_ascending_order;
+          Alcotest.test_case "naive/grid channel equivalence" `Quick
+            test_grid_channel_equivalence;
         ] );
       ( "mac",
         [
