@@ -9,6 +9,10 @@ type t = {
   compare_sequential : bool;
   out : string;
   sections : string list;
+  resume : string option;
+  cell_timeout : float;
+  retries : int;
+  fail_fast : bool;
 }
 
 let default =
@@ -23,6 +27,10 @@ let default =
     compare_sequential = false;
     out = "BENCH_campaign.json";
     sections = [ "all" ];
+    resume = None;
+    cell_timeout = 0.0;
+    retries = 1;
+    fail_fast = false;
   }
 
 let known_sections =
@@ -33,10 +41,14 @@ let usage =
   "usage: main.exe [SECTION ...] [--trials N] [--duration S] [--flows N]\n\
   \       [--full] [--quiet] [-j N | --jobs N] [--out PATH]\n\
   \       [--check-regression PATH] [--compare-sequential]\n\
+  \       [--resume PATH] [--cell-timeout S] [--retries N] [--fail-fast]\n\
    sections: " ^ String.concat " " known_sections ^ " (default: all)\n\
    -j N farms campaign cells over N domains; results are byte-identical\n\
    whatever N is. --check-regression compares fresh throughput against the\n\
-   perf.events_per_sec_per_job recorded in PATH and exits 3 below 75% of it."
+   perf.events_per_sec_per_job recorded in PATH and exits 3 below 75% of it.\n\
+   --resume journals resolved campaign cells to PATH and skips the ones\n\
+   already journaled; --cell-timeout/--retries/--fail-fast set the\n\
+   supervision policy (crashed or wedged cells retry, then quarantine)."
 
 let ( let* ) = Result.bind
 
@@ -59,7 +71,8 @@ let parse args =
     | [ flag ]
       when List.mem flag
              [ "--trials"; "--duration"; "--flows"; "--jobs"; "-j";
-               "--check-regression"; "--out" ] ->
+               "--check-regression"; "--out"; "--resume"; "--cell-timeout";
+               "--retries" ] ->
         Error (flag ^ ": missing argument")
     | "--trials" :: v :: rest ->
         let* trials = int_arg "--trials" v in
@@ -76,6 +89,18 @@ let parse args =
     | "--check-regression" :: v :: rest ->
         go { acc with baseline = Some v } sections rest
     | "--out" :: v :: rest -> go { acc with out = v } sections rest
+    | "--resume" :: v :: rest -> go { acc with resume = Some v } sections rest
+    | "--cell-timeout" :: v :: rest ->
+        let* cell_timeout = float_arg "--cell-timeout" v in
+        go { acc with cell_timeout } sections rest
+    | "--retries" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some retries when retries >= 0 -> go { acc with retries } sections rest
+        | Some _ ->
+            Error
+              (Printf.sprintf "--retries: expected a non-negative integer, got %s" v)
+        | None -> Error (Printf.sprintf "--retries: expected an integer, got %S" v))
+    | "--fail-fast" :: rest -> go { acc with fail_fast = true } sections rest
     | "--compare-sequential" :: rest ->
         go { acc with compare_sequential = true } sections rest
     | "--full" :: rest -> go { acc with full = true } sections rest

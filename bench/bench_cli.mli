@@ -18,6 +18,13 @@ type t = {
       (** also run the campaign at [jobs = 1] and record the speedup *)
   out : string;  (** where the campaign JSON (with perf member) is written *)
   sections : string list;  (** validated section names, default [["all"]] *)
+  resume : string option;
+      (** [--resume PATH]: checkpoint journal for the measured campaign —
+          resolved cells are appended as they complete and restored (not
+          re-run) on the next invocation ({!Sim.Experiment.run}) *)
+  cell_timeout : float;  (** wall-clock budget per cell attempt; 0 = none *)
+  retries : int;  (** extra attempts before a failing cell is quarantined *)
+  fail_fast : bool;  (** abort on the first cell failure (legacy behaviour) *)
 }
 
 val default : t

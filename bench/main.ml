@@ -30,7 +30,10 @@ let base_config opts =
       seed = 1;
     }
 
-let run_campaign opts ~jobs =
+(* The checkpoint (--resume) only arms on the measured pass: the sequential
+   reference pass of --compare-sequential must re-run every cell or its
+   wall-clock number is meaningless. *)
+let run_campaign ?checkpoint opts ~jobs =
   let base = base_config opts in
   let trials = if opts.Bench_cli.full then 10 else opts.Bench_cli.trials in
   Format.printf
@@ -52,11 +55,21 @@ let run_campaign opts ~jobs =
   let pause_scale =
     if opts.Bench_cli.full then 1.0 else base.Sim.Config.duration /. 900.0
   in
+  let policy =
+    if opts.Bench_cli.fail_fast then Sim.Supervisor.fail_fast
+    else
+      {
+        Sim.Supervisor.default with
+        Sim.Supervisor.cell_timeout = opts.Bench_cli.cell_timeout;
+        retries = opts.Bench_cli.retries;
+      }
+  in
   let started = Unix.gettimeofday () in
   let campaign =
-    Sim.Experiment.run ~jobs ~pause_scale ~base
+    Sim.Experiment.run ~policy ?checkpoint
+      ?sabotage:(Sim.Sabotage.from_env ()) ~jobs ~pause_scale ~base
       ~protocols:Sim.Config.all_protocols
-      ~pauses:Sim.Config.paper_pause_times ~trials ~progress
+      ~pauses:Sim.Config.paper_pause_times ~trials ~progress ()
   in
   (campaign, Unix.gettimeofday () -. started)
 
@@ -321,7 +334,10 @@ let () =
       end
       else None
     in
-    let campaign, wall = run_campaign opts ~jobs:opts.Bench_cli.jobs in
+    let campaign, wall =
+      run_campaign ?checkpoint:opts.Bench_cli.resume opts
+        ~jobs:opts.Bench_cli.jobs
+    in
     let ppf = Format.std_formatter in
     let section name render =
       if wants opts name || wants opts "campaign" then begin

@@ -184,9 +184,14 @@ let run_cmd =
       | None -> Trace.null
     in
     let started = Unix.gettimeofday () in
-    let result = Sim.Runner.run ~trace ~sample_every config in
+    let result =
+      (* close the trace channel even when the run aborts, so a crashed
+         run still leaves a valid JSONL prefix on disk *)
+      Fun.protect
+        ~finally:(fun () -> Option.iter close_out trace_oc)
+        (fun () -> Sim.Runner.run ~trace ~sample_every config)
+    in
     let wall = Unix.gettimeofday () -. started in
-    Option.iter close_out trace_oc;
     Format.printf "%a" Sim.Report.run result;
     (* engine stats go to stderr: stdout stays byte-identical across
        traced/untraced runs of the same seed *)
@@ -227,18 +232,88 @@ let campaign_cmd =
            Per-cell results are merged in canonical order, so the report \
            and --json output are byte-identical to -j 1; only stderr \
            progress interleaving varies."
+    and+ resume =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "resume" ] ~docv:"FILE"
+            ~doc:
+              "Journal every resolved cell to $(docv) (append-only JSONL) \
+               and, when the file already holds cells of this exact \
+               campaign, restore them instead of re-running. A resumed \
+               campaign's report and --json output are byte-identical to a \
+               straight-through run.")
+    and+ cell_timeout =
+      Arg.(
+        value & opt float 0.0
+        & info [ "cell-timeout" ] ~docv:"SEC"
+            ~doc:
+              "Wall-clock budget per cell attempt; a cell past its budget \
+               is aborted (cooperatively, at the next engine watchdog \
+               check) and handled like a crash. 0 disables the timeout.")
+    and+ retries =
+      Arg.(
+        value & opt int 1
+        & info [ "retries" ] ~docv:"N"
+            ~doc:
+              "Re-run a crashed or timed-out cell up to $(docv) more times \
+               (deterministic exponential backoff) before quarantining it.")
+    and+ fail_fast =
+      Arg.(
+        value & flag
+        & info [ "fail-fast" ]
+            ~doc:
+              "Abort the whole campaign on the first cell failure instead \
+               of retrying and quarantining.")
+    and+ sabotage =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "sabotage" ] ~docv:"SPEC"
+            ~doc:
+              "Deterministic failure injection for testing the supervisor: \
+               MODE:PROTOCOL:PAUSE:TRIAL[@FAILS] with MODE crash or hang \
+               (e.g. crash:AODV:0:1, or crash:SRP:0:0@1 to fail only the \
+               first attempt). Also read from MANET_SABOTAGE.")
     in
     let progress = if quiet then fun _ -> () else prerr_endline in
     let pause_scale = Stdlib.min 1.0 (config.Sim.Config.duration /. 900.0) in
-    let campaign =
-      Sim.Experiment.run ~jobs ~pause_scale ~base:config
-        ~protocols:Sim.Config.all_protocols
-        ~pauses:Sim.Config.paper_pause_times ~trials ~progress
+    let policy =
+      if fail_fast then Sim.Supervisor.fail_fast
+      else
+        {
+          Sim.Supervisor.default with
+          Sim.Supervisor.cell_timeout;
+          retries = Stdlib.max 0 retries;
+        }
     in
-    Format.printf "%a@." Sim.Report.all campaign;
-    Option.iter
-      (fun path -> write_json path (Sim.Report.campaign_json campaign))
-      json_file
+    let sabotage =
+      match sabotage with
+      | Some spec -> (
+          match Sim.Sabotage.of_string spec with
+          | Ok t -> Some t
+          | Error m ->
+              prerr_endline ("campaign: " ^ m);
+              exit 2)
+      | None -> Sim.Sabotage.from_env ()
+    in
+    match
+      Sim.Experiment.run ~policy ?checkpoint:resume ?sabotage ~jobs
+        ~pause_scale ~base:config ~protocols:Sim.Config.all_protocols
+        ~pauses:Sim.Config.paper_pause_times ~trials ~progress ()
+    with
+    | campaign ->
+        Format.printf "%a@." Sim.Report.all campaign;
+        Option.iter
+          (fun path -> write_json path (Sim.Report.campaign_json campaign))
+          json_file
+    | exception Sim.Pool.Cell_error { cell; exn } ->
+        Format.eprintf "campaign: aborted by cell %s: %s@." cell
+          (Printexc.to_string exn);
+        exit 1
+    | exception Sim.Experiment.Resume_error m ->
+        Format.eprintf "campaign: %s@." m;
+        exit 2
   in
   Cmd.v (Cmd.info "campaign" ~doc) term
 

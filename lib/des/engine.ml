@@ -65,15 +65,36 @@ let step t =
   t.executed <- t.executed + 1;
   event.action ()
 
-let run t ~until =
-  let rec loop () =
-    match skip_dead t with
-    | Some (time, _, _) when time <= until ->
-        step t;
-        loop ()
-    | Some _ | None -> ()
-  in
-  loop ();
+(* how many events run between two watchdog calls: rare enough that the
+   hook never shows up in profiles, frequent enough that a wedged run is
+   caught within a fraction of a second *)
+let watchdog_stride = 4096
+
+let run ?watchdog t ~until =
+  (match watchdog with
+  | None ->
+      let rec loop () =
+        match skip_dead t with
+        | Some (time, _, _) when time <= until ->
+            step t;
+            loop ()
+        | Some _ | None -> ()
+      in
+      loop ()
+  | Some check ->
+      let rec loop budget =
+        if budget = 0 then begin
+          check ();
+          loop watchdog_stride
+        end
+        else
+          match skip_dead t with
+          | Some (time, _, _) when time <= until ->
+              step t;
+              loop (budget - 1)
+          | Some _ | None -> ()
+      in
+      loop watchdog_stride);
   if t.clock < until then t.clock <- until
 
 let run_all t =

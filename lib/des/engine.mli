@@ -34,8 +34,13 @@ val pending : t -> int
 
 (** [run t ~until] executes events in time order until the queue is empty or
     the next event is strictly after [until]. Afterwards [now t] is the time
-    of the last executed event, capped at [until]. *)
-val run : t -> until:float -> unit
+    of the last executed event, capped at [until].
+
+    [watchdog], when given, is called every few thousand executed events —
+    without scheduling anything, so event counts and outcomes are untouched.
+    It may raise to abort a wedged run (the supervisor's cell timeouts do
+    exactly that); the exception propagates to the caller of [run]. *)
+val run : ?watchdog:(unit -> unit) -> t -> until:float -> unit
 
 (** [run_all t] executes every event until the queue drains. Intended for
     tests; a self-perpetuating timer makes this loop forever. *)

@@ -9,6 +9,15 @@ let protocol_name = function
   | Dsr -> "DSR"
   | Olsr -> "OLSR"
 
+let protocol_of_name s =
+  match String.uppercase_ascii s with
+  | "SRP" -> Some Srp
+  | "LDR" -> Some Ldr
+  | "AODV" -> Some Aodv
+  | "DSR" -> Some Dsr
+  | "OLSR" -> Some Olsr
+  | _ -> None
+
 let fig7_protocols = [ Srp; Ldr; Aodv ]
 
 type t = {

@@ -8,6 +8,9 @@ val all_protocols : protocol list
 
 val protocol_name : protocol -> string
 
+(** Inverse of {!protocol_name}, case-insensitive. *)
+val protocol_of_name : string -> protocol option
+
 (** Protocols that expose a sequence number (Fig. 7). *)
 val fig7_protocols : protocol list
 

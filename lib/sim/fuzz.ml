@@ -234,4 +234,71 @@ let prop_conservation =
             ]))
     conservation_law
 
-let props = [ prop_sim_model; prop_conservation ]
+(* ------------------------------------------------------------------ *)
+(* Checkpoint–resume equivalence: journal a small campaign, truncate the
+   journal to an arbitrary prefix plus a torn fragment (what a kill
+   mid-append leaves behind), resume, and demand the resumed campaign be
+   byte-identical — report text and JSON — to a straight-through run. *)
+
+type resume_case = { base_case : sim_case; trials : int; cut : int }
+
+let resume_case_gen =
+  Gen.bind
+    (case_gen ~protocol:(Gen.elements Config.all_protocols)
+       ~faults:(Gen.pure Faults.Spec.none))
+    (fun base_case ->
+      Gen.map2
+        (fun trials cut ->
+          { base_case = { base_case with duration = 6.0 }; trials; cut })
+        (Gen.int_range 1 2) (Gen.int_range 0 16))
+
+let print_resume_case c =
+  asprintf "%a trials=%d cut=%d" pp_case c.base_case c.trials c.cut
+
+let campaign_fingerprint t =
+  asprintf "%a" Report.all t ^ Trace.Json.to_string (Report.campaign_json t)
+
+let resume_equiv_law c =
+  let base = to_config c.base_case in
+  let pauses = [ 0.0; c.base_case.pause +. 1.0 ] in
+  let campaign ?checkpoint ~jobs () =
+    Experiment.run ?checkpoint ~jobs ~pause_scale:1.0 ~base
+      ~protocols:[ c.base_case.protocol ] ~pauses ~trials:c.trials
+      ~progress:ignore ()
+  in
+  let straight = campaign_fingerprint (campaign ~jobs:1 ()) in
+  let path = Filename.temp_file "manet_fuzz_ckpt" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let journaled = campaign_fingerprint (campaign ~checkpoint:path ~jobs:1 ()) in
+      if journaled <> straight then
+        Error "journaled run differs from straight-through"
+      else begin
+        let lines =
+          In_channel.with_open_text path In_channel.input_lines
+          |> List.filter (fun l -> String.trim l <> "")
+        in
+        let cells = List.length lines - 1 in
+        (* header + an arbitrary prefix of cells, then a torn fragment *)
+        let keep = 1 + (c.cut mod (cells + 1)) in
+        Out_channel.with_open_text path (fun oc ->
+            List.iteri
+              (fun i l -> if i < keep then Out_channel.output_string oc (l ^ "\n"))
+              lines;
+            Out_channel.output_string oc "{\"cell\":{\"proto");
+        let resumed = campaign_fingerprint (campaign ~checkpoint:path ~jobs:2 ()) in
+        if resumed <> straight then
+          Error
+            (Printf.sprintf
+               "resumed campaign differs from straight-through (kept %d of %d \
+                cells)"
+               (keep - 1) cells)
+        else Ok ()
+      end)
+
+let prop_resume_equiv =
+  Runner_c.cell ~cost:10 ~name:"campaign-resume-equiv"
+    ~print:print_resume_case resume_case_gen resume_equiv_law
+
+let props = [ prop_sim_model; prop_conservation; prop_resume_equiv ]

@@ -7,11 +7,19 @@
     [Runner.run] is); the pool adds no synchronisation around [f] beyond
     the work-stealing counter. *)
 
+(** A worker's exception, wrapped with the identity of the failing cell.
+    The original exception rides in [exn] and the re-raise preserves the
+    original raise-site backtrace, so traces point into the cell's code,
+    not at the pool. A printer is registered with {!Printexc}. *)
+exception Cell_error of { cell : string; exn : exn }
+
 (** The runtime's recommendation for this machine (physical parallelism). *)
 val default_jobs : unit -> int
 
 (** [map ~jobs f items] applies [f] to every element, using up to [jobs]
     domains (clamped to [1 .. Array.length items]; [jobs <= 1] runs inline
     with no domains spawned). The first exception raised by any [f] is
-    re-raised in the caller after all workers have stopped. *)
-val map : jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+    re-raised in the caller — after all workers have stopped — as
+    {!Cell_error}, with the original backtrace attached. [name] renders
+    the failing item's identity from its index (default ["#i"]). *)
+val map : ?name:(int -> string) -> jobs:int -> ('a -> 'b) -> 'a array -> 'b array

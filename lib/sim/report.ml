@@ -95,6 +95,30 @@ let fig7 ppf t =
       max_denom Slr.Fraction.bound
   end
 
+(* Quarantined cells, printed only when there are any: a clean campaign's
+   report stays byte-identical to pre-supervisor builds. *)
+let supervision ppf (t : Experiment.t) =
+  match t.Experiment.failures with
+  | [] -> ()
+  | failures ->
+      let total =
+        List.length t.Experiment.protocols
+        * List.length t.Experiment.pauses
+        * t.Experiment.trials
+      in
+      Format.fprintf ppf "Supervision: %d of %d cells quarantined@."
+        (List.length failures) total;
+      List.iter
+        (fun (key, f) ->
+          Format.fprintf ppf "  %-5s pause=%4.0f trial=%d  %s after %d attempt%s: %s@."
+            (Config.protocol_name key.Experiment.protocol)
+            key.Experiment.pause key.Experiment.trial
+            (if f.Supervisor.timed_out then "timed out" else "crashed")
+            f.Supervisor.attempts
+            (if f.Supervisor.attempts = 1 then "" else "s")
+            f.Supervisor.error)
+        failures
+
 (* Machine-readable campaign export: every (protocol, pause) cell with the
    per-metric summaries that the text figures print, plus the scenario. *)
 let campaign_json (t : Experiment.t) =
@@ -139,6 +163,21 @@ let campaign_json (t : Experiment.t) =
       ("pauses", J.List (List.map (fun p -> J.Float p) t.Experiment.pauses));
       ("trials", J.Int t.Experiment.trials);
       ("cells", J.List cells);
+      ( "failures",
+        J.List
+          (List.map
+             (fun (key, f) ->
+               match Supervisor.failure_to_json f with
+               | J.Obj members ->
+                   J.Obj
+                     (( "protocol",
+                        J.String (Config.protocol_name key.Experiment.protocol)
+                      )
+                     :: ("pause", J.Float key.Experiment.pause)
+                     :: ("trial", J.Int key.Experiment.trial)
+                     :: members)
+               | other -> other)
+             t.Experiment.failures) );
     ]
 
 let run_json config (r : Metrics.result) =
@@ -161,4 +200,8 @@ let all ppf t =
   Format.pp_print_newline ppf ();
   fig6 ppf t;
   Format.pp_print_newline ppf ();
-  fig7 ppf t
+  fig7 ppf t;
+  if t.Experiment.failures <> [] then begin
+    Format.pp_print_newline ppf ();
+    supervision ppf t
+  end

@@ -21,7 +21,14 @@ val fig6 : Format.formatter -> Experiment.t -> unit
     plus SRP's maximum denominator (§V's "stayed under 840 million"). *)
 val fig7 : Format.formatter -> Experiment.t -> unit
 
-(** Everything, in paper order. *)
+(** Quarantined-cell section: one header plus one line per failure
+    (attempts, crash-vs-timeout, error). Prints nothing on a clean
+    campaign, so clean reports are byte-identical to pre-supervisor
+    builds. *)
+val supervision : Format.formatter -> Experiment.t -> unit
+
+(** Everything, in paper order; ends with {!supervision} when any cell was
+    quarantined. *)
 val all : Format.formatter -> Experiment.t -> unit
 
 (** Single-run report: the paper metrics line, per-reason routing drops,

@@ -21,8 +21,8 @@ let dead_agent drop =
   }
 
 let run_custom_detailed ?(on_faults = fun (_ : Faults.Injector.t) -> ())
-    ?(trace = Trace.null) ?(sample_every = 0.0) (config : Config.t) ~build
-    ~on_start =
+    ?(trace = Trace.null) ?(sample_every = 0.0) ?deadline (config : Config.t)
+    ~build ~on_start =
   let engine = Des.Engine.create () in
   Trace.set_clock trace (fun () -> Des.Engine.now engine);
   let root = Des.Rng.create (Int64.of_int config.seed) in
@@ -173,7 +173,16 @@ let run_custom_detailed ?(on_faults = fun (_ : Faults.Injector.t) -> ())
         ~seq:data.Frame.seq ~dst:data.Frame.final_dst;
       Metrics.on_sent metrics data;
       (agent src).Protocols.Routing_intf.originate data ~size);
-  Des.Engine.run engine ~until:config.duration;
+  (* the watchdog makes wedged cells supervisable: it schedules nothing,
+     so event counts and outcomes are untouched, and Timeout unwinds here.
+     Whatever happens, the tracer is flushed — an aborted run must leave a
+     valid JSONL prefix, not a torn line. *)
+  let watchdog =
+    Option.map (fun d () -> Supervisor.check_deadline (Some d)) deadline
+  in
+  Fun.protect
+    ~finally:(fun () -> Trace.close trace)
+    (fun () -> Des.Engine.run ?watchdog engine ~until:config.duration);
   let control_tx =
     Array.fold_left
       (fun acc mac -> acc + (Wireless.Mac80211.stats mac).Wireless.Mac80211.tx_control)
@@ -214,13 +223,15 @@ let run_custom_detailed ?(on_faults = fun (_ : Faults.Injector.t) -> ())
   Trace.close trace;
   (result, gauges)
 
-let run_detailed ?trace ?sample_every config =
-  run_custom_detailed ?trace ?sample_every config
+let run_detailed ?trace ?sample_every ?deadline config =
+  run_custom_detailed ?trace ?sample_every ?deadline config
     ~build:(fun _ ctx -> build_agent config ctx)
     ~on_start:(fun _ -> ())
 
-let run_custom ?on_faults ?trace ?sample_every config ~build ~on_start =
-  fst (run_custom_detailed ?on_faults ?trace ?sample_every config ~build ~on_start)
+let run_custom ?on_faults ?trace ?sample_every ?deadline config ~build ~on_start =
+  fst
+    (run_custom_detailed ?on_faults ?trace ?sample_every ?deadline config
+       ~build ~on_start)
 
-let run ?trace ?sample_every config =
-  fst (run_detailed ?trace ?sample_every config)
+let run ?trace ?sample_every ?deadline config =
+  fst (run_detailed ?trace ?sample_every ?deadline config)

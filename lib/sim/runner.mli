@@ -14,13 +14,26 @@
     behaviourally identical. [sample_every], when positive and tracing is
     on, arms the periodic {!Sampler} gauge time series at that interval
     (simulated seconds). The tracer is flushed ({!Trace.close}) before the
-    result is returned. *)
-val run : ?trace:Trace.t -> ?sample_every:float -> Config.t -> Metrics.result
+    result is returned — also when the run aborts, so a crashed or
+    timed-out cell still leaves a valid JSONL prefix.
+
+    [deadline] is an absolute wall-clock bound ({!Supervisor} cell
+    timeouts): the engine's event-loop watchdog checks it every few
+    thousand events — scheduling nothing, so a run that finishes in time
+    is byte-identical to an unbounded one — and raises
+    {!Supervisor.Timeout} once it passes. *)
+val run :
+  ?trace:Trace.t ->
+  ?sample_every:float ->
+  ?deadline:float ->
+  Config.t ->
+  Metrics.result
 
 (** Like {!run} but also exposes the per-node agent gauges (for tests). *)
 val run_detailed :
   ?trace:Trace.t ->
   ?sample_every:float ->
+  ?deadline:float ->
   Config.t ->
   Metrics.result * Protocols.Routing_intf.gauges list
 
@@ -41,6 +54,7 @@ val run_custom :
   ?on_faults:(Faults.Injector.t -> unit) ->
   ?trace:Trace.t ->
   ?sample_every:float ->
+  ?deadline:float ->
   Config.t ->
   build:(int -> Protocols.Routing_intf.ctx -> Protocols.Routing_intf.agent) ->
   on_start:(Des.Engine.t -> unit) ->

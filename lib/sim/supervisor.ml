@@ -1,0 +1,80 @@
+exception Timeout
+
+let () =
+  Printexc.register_printer (function
+    | Timeout -> Some "Supervisor.Timeout (cell exceeded its wall-clock budget)"
+    | _ -> None)
+
+let check_deadline = function
+  | Some d when Unix.gettimeofday () > d -> raise Timeout
+  | Some _ | None -> ()
+
+type policy = {
+  cell_timeout : float;
+  retries : int;
+  backoff : float;
+  fail_fast : bool;
+}
+
+let default =
+  { cell_timeout = 0.0; retries = 1; backoff = 0.25; fail_fast = false }
+
+let fail_fast =
+  { cell_timeout = 0.0; retries = 0; backoff = 0.0; fail_fast = true }
+
+type failure = {
+  attempts : int;
+  timed_out : bool;
+  error : string;
+  backtrace : string;
+}
+
+let failure_to_json f =
+  let module J = Trace.Json in
+  J.Obj
+    [
+      ("attempts", J.Int f.attempts);
+      ("timed_out", J.Bool f.timed_out);
+      ("error", J.String f.error);
+      ("backtrace", J.String f.backtrace);
+    ]
+
+(* One supervised item: attempt, classify, back off, retry, quarantine.
+   Runs entirely inside the worker domain; only raises under [fail_fast],
+   so the pool's first-error abort machinery stays dormant otherwise. *)
+let supervised ~policy ~run item =
+  let rec go attempt =
+    let deadline =
+      if policy.cell_timeout > 0.0 then
+        Some (Unix.gettimeofday () +. policy.cell_timeout)
+      else None
+    in
+    match run ~attempt ~deadline item with
+    | v -> Ok v
+    | exception e when not policy.fail_fast ->
+        let backtrace = Printexc.get_backtrace () in
+        let timed_out = match e with Timeout -> true | _ -> false in
+        if attempt <= policy.retries then begin
+          (* deterministic exponential backoff, no jitter: a transient
+             resource blip gets room to clear, and reports stay stable *)
+          if policy.backoff > 0.0 then
+            Unix.sleepf (policy.backoff *. (2. ** float_of_int (attempt - 1)));
+          go (attempt + 1)
+        end
+        else
+          Error
+            { attempts = attempt; timed_out; error = Printexc.to_string e;
+              backtrace }
+  in
+  go 1
+
+let map ?on_outcome ~jobs ~policy ~name ~run items =
+  (* quarantine reports without a backtrace are useless; recording costs
+     nothing until an exception actually unwinds *)
+  Printexc.record_backtrace true;
+  let f item =
+    let outcome = supervised ~policy ~run item in
+    (match on_outcome with Some hook -> hook item outcome | None -> ());
+    outcome
+  in
+  Pool.map ~name:(fun i -> name items.(i)) ~jobs f items

@@ -1,0 +1,74 @@
+(** Supervised campaign execution on top of {!Pool}: crash isolation,
+    per-cell wall-clock timeouts, bounded retries with deterministic
+    backoff, and quarantine.
+
+    {!Pool.map} re-raises the first worker exception and discards every
+    other result — one wedged or crashing cell poisons a whole sweep.
+    [Supervisor.map] instead resolves every cell to
+    [Ok result | Error failure]: an exception (or a cell overrunning its
+    wall-clock budget) marks {e that cell} failed with its captured
+    backtrace, is retried up to [retries] more times with exponential
+    backoff, and is quarantined once attempts are exhausted. The sweep
+    always completes; with [fail_fast] the pre-supervision semantics —
+    abort the whole sweep on the first failure — are restored.
+
+    Timeouts are cooperative: the supervisor computes an absolute
+    wall-clock deadline per attempt and hands it to the cell runner, which
+    is expected to call {!check_deadline} periodically (the simulation
+    engine does, from its event-loop watchdog, every few thousand events).
+    No domain is ever killed, so a cell blocked in a foreign call is not
+    interruptible — but every cell of this simulator is a pure event loop,
+    which the watchdog covers. *)
+
+(** Raised by {!check_deadline} when the attempt's budget is exhausted. *)
+exception Timeout
+
+(** [check_deadline deadline] raises {!Timeout} when [deadline] is
+    [Some d] and the wall clock is past [d]; no-op otherwise. *)
+val check_deadline : float option -> unit
+
+type policy = {
+  cell_timeout : float;
+      (** wall-clock seconds per attempt; [<= 0.] disables the deadline *)
+  retries : int;  (** extra attempts after the first failure *)
+  backoff : float;
+      (** base pause before retry [k]: [backoff *. 2. ** (k - 1)] seconds —
+          deterministic, no jitter *)
+  fail_fast : bool;
+      (** re-raise the first failure (as {!Pool.Cell_error}) instead of
+          isolating it — the pre-supervision behaviour *)
+}
+
+(** Supervised defaults: no timeout, one retry, 0.25 s backoff base. *)
+val default : policy
+
+(** The legacy semantics: no retries, first failure aborts the sweep. *)
+val fail_fast : policy
+
+(** Why a cell was quarantined. [error] and [backtrace] describe the last
+    attempt; [timed_out] is true when that attempt hit its deadline. *)
+type failure = {
+  attempts : int;
+  timed_out : bool;
+  error : string;
+  backtrace : string;
+}
+
+val failure_to_json : failure -> Trace.Json.t
+
+(** [map ~jobs ~policy ~name ~run items] farms [items] over [jobs] domains
+    ({!Pool.map}, order-preserving). Each item is attempted up to
+    [1 + policy.retries] times through [run ~attempt ~deadline item]
+    ([attempt] counts from 1; [deadline] is the absolute wall-clock budget,
+    [None] when timeouts are off). [on_outcome], if given, is called in the
+    worker as soon as an item resolves — the checkpoint journal hooks in
+    here; it must be thread-safe. With [policy.fail_fast] the first
+    exception aborts the whole map as {!Pool.Cell_error} [(name item)]. *)
+val map :
+  ?on_outcome:('a -> ('b, failure) result -> unit) ->
+  jobs:int ->
+  policy:policy ->
+  name:('a -> string) ->
+  run:(attempt:int -> deadline:float option -> 'a -> 'b) ->
+  'a array ->
+  ('b, failure) result array

@@ -1,4 +1,5 @@
 module Json = Json
+module Journal = Journal
 
 type ev =
   | Pkt_originate of { flow : int; seq : int; dst : int }
@@ -60,7 +61,12 @@ let ring ~clock ~capacity =
     clock;
   }
 
-let jsonl ~clock oc = { sink = Jsonl { oc; scratch = Buffer.create 256 }; clock }
+let jsonl ~clock oc =
+  (* abnormal exits (uncaught exception, exit on signal handlers) must
+     still leave a valid JSONL prefix: flush whatever was emitted. The
+     channel may already be closed by then — that flush failure is fine. *)
+  at_exit (fun () -> try flush oc with Sys_error _ -> ());
+  { sink = Jsonl { oc; scratch = Buffer.create 256 }; clock }
 
 let callback ~clock f = { sink = Callback f; clock }
 

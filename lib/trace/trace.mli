@@ -15,6 +15,9 @@
 
 module Json = Json
 
+(** Crash-safe append-only JSONL journal (campaign checkpoints). *)
+module Journal = Journal
+
 (** What happened. Packet events carry the flow id and the packet's
     globally unique sequence number, so one packet's lifecycle can be
     replayed from a trace ([manet_sim trace --follow FLOW:SEQ]). *)
@@ -61,7 +64,9 @@ val enabled : t -> bool
 val ring : clock:(unit -> float) -> capacity:int -> t
 
 (** [jsonl ~clock oc] streams one JSON object per record to [oc].
-    Call {!close} to flush (the channel itself is not closed). *)
+    Call {!close} to flush (the channel itself is not closed). An
+    [at_exit] hook also flushes [oc], so a run that dies with an uncaught
+    exception still leaves a valid, parseable JSONL prefix on disk. *)
 val jsonl : clock:(unit -> float) -> out_channel -> t
 
 (** [callback ~clock f] hands every record to [f] as it is emitted —

@@ -54,4 +54,41 @@ dune exec bench/main.exe -- campaign --trials 1 --duration 20 --flows 6 \
   --check-regression BENCH_campaign.json > "$tmp/bench_out.txt" 2> /dev/null
 grep "regression gate" "$tmp/bench_out.txt"
 
+# kill-and-resume smoke: SIGTERM a journaled campaign mid-sweep, resume it
+# from the checkpoint, and demand stdout and JSON byte-identical to the
+# uninterrupted reference run above (the binary is invoked directly:
+# `dune exec` may not forward the signal)
+SIM=_build/default/bin/manet_sim.exe
+"$SIM" campaign --nodes 20 --duration 10 --trials 1 --flows 3 --quiet \
+  -j 2 --resume "$tmp/ckpt.jsonl" --json "$tmp/campaign_resumed.json" \
+  > "$tmp/campaign_killed.txt" 2> /dev/null &
+victim=$!
+sleep 3
+kill -TERM "$victim" 2> /dev/null || true
+wait "$victim" || true
+"$SIM" campaign --nodes 20 --duration 10 --trials 1 --flows 3 --quiet \
+  -j 2 --resume "$tmp/ckpt.jsonl" --json "$tmp/campaign_resumed.json" \
+  > "$tmp/campaign_resumed.txt" 2> "$tmp/campaign_resumed.log"
+cmp "$tmp/campaign_j1.json" "$tmp/campaign_resumed.json"
+cmp "$tmp/campaign_j1.txt" "$tmp/campaign_resumed.txt"
+
+# supervision smoke: an injected crash must quarantine one cell, annotate
+# it in the report and the JSON failures list, and still exit 0 ...
+"$SIM" campaign --nodes 20 --duration 10 --trials 1 --flows 3 --quiet \
+  --sabotage crash:AODV:0:0 --retries 0 --json "$tmp/campaign_crash.json" \
+  > "$tmp/campaign_crash.txt" 2> /dev/null
+grep -q "quarantined" "$tmp/campaign_crash.txt"
+"$SIM" trace "$tmp/campaign_crash.json" --validate --require failures
+# ... a wedged cell must hit the --cell-timeout and quarantine the same way
+"$SIM" campaign --nodes 20 --duration 10 --trials 1 --flows 3 --quiet \
+  --sabotage hang:DSR:0:0 --cell-timeout 1 --retries 0 \
+  > "$tmp/campaign_hang.txt" 2> /dev/null
+grep -q "quarantined" "$tmp/campaign_hang.txt"
+# ... and --fail-fast must restore the historical abort-on-first-error
+if "$SIM" campaign --nodes 20 --duration 10 --trials 1 --flows 3 --quiet \
+  --sabotage crash:AODV:0:0 --fail-fast > /dev/null 2> /dev/null; then
+  echo "check.sh: --fail-fast did not abort the sabotaged campaign" >&2
+  exit 1
+fi
+
 echo "check.sh: all green"

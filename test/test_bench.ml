@@ -23,7 +23,11 @@ let test_defaults () =
   Alcotest.(check bool) "full" false opts.Bench_cli.full;
   Alcotest.(check string) "out" "BENCH_campaign.json" opts.Bench_cli.out;
   Alcotest.(check (list string)) "sections" [ "all" ] opts.Bench_cli.sections;
-  Alcotest.(check bool) "no baseline" true (opts.Bench_cli.baseline = None)
+  Alcotest.(check bool) "no baseline" true (opts.Bench_cli.baseline = None);
+  Alcotest.(check bool) "no resume journal" true (opts.Bench_cli.resume = None);
+  Alcotest.(check (float 0.0)) "no cell timeout" 0.0 opts.Bench_cli.cell_timeout;
+  Alcotest.(check int) "one retry" 1 opts.Bench_cli.retries;
+  Alcotest.(check bool) "supervised by default" false opts.Bench_cli.fail_fast
 
 let test_valid_parse () =
   let opts =
@@ -43,6 +47,23 @@ let test_valid_parse () =
     opts.Bench_cli.compare_sequential;
   Alcotest.(check (list string)) "sections in order" [ "micro"; "campaign" ]
     opts.Bench_cli.sections
+
+let test_supervision_flags () =
+  let opts =
+    ok
+      [ "--resume"; "ckpt.jsonl"; "--cell-timeout"; "30"; "--retries"; "0";
+        "--fail-fast" ]
+  in
+  Alcotest.(check bool) "resume path" true
+    (opts.Bench_cli.resume = Some "ckpt.jsonl");
+  Alcotest.(check (float 0.0)) "cell timeout" 30.0 opts.Bench_cli.cell_timeout;
+  Alcotest.(check int) "retries may be zero" 0 opts.Bench_cli.retries;
+  Alcotest.(check bool) "fail-fast" true opts.Bench_cli.fail_fast;
+  ignore (err [ "--retries"; "-1" ]);
+  ignore (err [ "--retries"; "two" ]);
+  ignore (err [ "--cell-timeout"; "soon" ]);
+  ignore (err [ "--cell-timeout" ]);
+  ignore (err [ "--resume" ])
 
 let test_malformed_numbers () =
   ignore (err [ "--trials"; "three" ]);
@@ -73,6 +94,7 @@ let () =
         [
           Alcotest.test_case "defaults" `Quick test_defaults;
           Alcotest.test_case "full flag set" `Quick test_valid_parse;
+          Alcotest.test_case "supervision flags" `Quick test_supervision_flags;
           Alcotest.test_case "malformed numbers" `Quick test_malformed_numbers;
           Alcotest.test_case "missing argument" `Quick test_missing_argument;
           Alcotest.test_case "unknown flag/section" `Quick test_unknown_inputs;

@@ -225,7 +225,7 @@ let test_campaign_and_report () =
     Sim.Experiment.run ~jobs:1 ~pause_scale:1.0 ~base
       ~protocols:[ C.Srp; C.Aodv ]
       ~pauses:[ 0.0; 900.0 ] ~trials:2
-      ~progress:(fun _ -> ())
+      ~progress:(fun _ -> ()) ()
   in
   let cell = Sim.Experiment.cell campaign C.Srp 0.0 in
   Alcotest.(check int) "two trials per cell" 2
@@ -267,7 +267,11 @@ let test_pool_propagates_exception () =
   let boom x = if x = 5 then failwith "boom" else x in
   match Sim.Pool.map ~jobs:4 boom (Array.init 20 Fun.id) with
   | _ -> Alcotest.fail "expected the worker's exception to re-raise"
-  | exception Failure msg -> Alcotest.(check string) "message" "boom" msg
+  | exception Sim.Pool.Cell_error { cell; exn = Failure msg } ->
+      Alcotest.(check string) "failing cell identified" "#5" cell;
+      Alcotest.(check string) "original exception carried" "boom" msg
+  | exception e ->
+      Alcotest.failf "expected Cell_error, got %s" (Printexc.to_string e)
 
 (* The tentpole gate: a same-seed campaign renders byte-identical reports
    and JSON whether it ran on one domain or four. *)
@@ -279,7 +283,7 @@ let test_campaign_parallel_equivalence () =
     Sim.Experiment.run ~jobs ~pause_scale:1.0 ~base
       ~protocols:[ C.Srp; C.Aodv ]
       ~pauses:[ 0.0; 900.0 ] ~trials:2
-      ~progress:(fun _ -> ())
+      ~progress:(fun _ -> ()) ()
   in
   let seq = campaign 1 in
   let par = campaign 4 in
@@ -291,6 +295,218 @@ let test_campaign_parallel_equivalence () =
   Alcotest.(check string) "campaign JSON bytes identical"
     (Trace.Json.to_string (Sim.Report.campaign_json seq))
     (Trace.Json.to_string (Sim.Report.campaign_json par))
+
+(* ------------------------------------------------------------------ *)
+(* Supervisor: crash isolation, retry/backoff, timeout, fail-fast *)
+
+let quick_policy =
+  { Sim.Supervisor.default with Sim.Supervisor.backoff = 0.01 }
+
+let sup_name x = Printf.sprintf "item-%d" x
+
+let test_supervisor_retry_then_succeed () =
+  let attempts_seen = Array.make 4 0 in
+  let run ~attempt ~deadline:_ x =
+    attempts_seen.(x) <- attempt;
+    if x = 2 && attempt = 1 then failwith "flaky" else x * 10
+  in
+  let outcomes =
+    Sim.Supervisor.map ~jobs:1 ~policy:quick_policy ~name:sup_name ~run
+      (Array.init 4 Fun.id)
+  in
+  Array.iteri
+    (fun i outcome ->
+      match outcome with
+      | Ok v -> Alcotest.(check int) (sup_name i ^ " result") (i * 10) v
+      | Error _ -> Alcotest.failf "%s should have succeeded" (sup_name i))
+    outcomes;
+  Alcotest.(check int) "flaky cell retried once" 2 attempts_seen.(2);
+  Alcotest.(check int) "healthy cell ran once" 1 attempts_seen.(1)
+
+let test_supervisor_quarantines_persistent_crash () =
+  let run ~attempt:_ ~deadline:_ x =
+    if x = 1 then failwith "always broken" else x
+  in
+  let outcomes =
+    Sim.Supervisor.map ~jobs:2 ~policy:quick_policy ~name:sup_name ~run
+      (Array.init 3 Fun.id)
+  in
+  (match outcomes.(1) with
+  | Error f ->
+      Alcotest.(check int) "initial attempt + 1 retry" 2 f.Sim.Supervisor.attempts;
+      Alcotest.(check bool) "not a timeout" false f.Sim.Supervisor.timed_out;
+      Alcotest.(check bool) "error captured" true
+        (f.Sim.Supervisor.error <> "")
+  | Ok _ -> Alcotest.fail "persistently crashing cell must be quarantined");
+  (match outcomes.(0) with
+  | Ok 0 -> ()
+  | _ -> Alcotest.fail "sibling cells must be unaffected");
+  match outcomes.(2) with
+  | Ok 2 -> ()
+  | _ -> Alcotest.fail "sibling cells must be unaffected"
+
+let test_supervisor_times_out_hung_cell () =
+  let policy =
+    { quick_policy with Sim.Supervisor.cell_timeout = 0.2; retries = 0 }
+  in
+  let run ~attempt:_ ~deadline x =
+    if x = 1 then
+      (* a wedged event loop: only the cooperative deadline can stop it *)
+      while true do
+        Sim.Supervisor.check_deadline deadline;
+        Unix.sleepf 0.002
+      done;
+    x
+  in
+  let outcomes =
+    Sim.Supervisor.map ~jobs:1 ~policy ~name:sup_name ~run (Array.init 2 Fun.id)
+  in
+  (match outcomes.(1) with
+  | Error f ->
+      Alcotest.(check bool) "flagged as timeout" true f.Sim.Supervisor.timed_out;
+      Alcotest.(check int) "no retries configured" 1 f.Sim.Supervisor.attempts
+  | Ok _ -> Alcotest.fail "hung cell must time out");
+  match outcomes.(0) with
+  | Ok 0 -> ()
+  | _ -> Alcotest.fail "healthy cell unaffected by the sibling timeout"
+
+let test_supervisor_fail_fast_reraises () =
+  let run ~attempt:_ ~deadline:_ x =
+    if x = 3 then failwith "boom" else x
+  in
+  match
+    Sim.Supervisor.map ~jobs:1 ~policy:Sim.Supervisor.fail_fast ~name:sup_name
+      ~run (Array.init 5 Fun.id)
+  with
+  | _ -> Alcotest.fail "fail-fast policy must re-raise"
+  | exception Sim.Pool.Cell_error { cell; exn = Failure msg } ->
+      Alcotest.(check string) "cell named" "item-3" cell;
+      Alcotest.(check string) "original exception" "boom" msg
+  | exception e ->
+      Alcotest.failf "expected Cell_error, got %s" (Printexc.to_string e)
+
+(* ------------------------------------------------------------------ *)
+(* Supervised campaigns: sabotage, quarantine reporting, resume *)
+
+let sabotage_spec s =
+  match Sim.Sabotage.of_string s with
+  | Ok t -> t
+  | Error m -> Alcotest.failf "bad sabotage spec in test: %s" m
+
+let small_campaign_base () =
+  { (quick_config C.Srp) with C.duration = 15.0; nodes = 20; flows = 3 }
+
+let run_small_campaign ?policy ?checkpoint ?sabotage ~jobs () =
+  Sim.Experiment.run ?policy ?checkpoint ?sabotage ~jobs ~pause_scale:1.0
+    ~base:(small_campaign_base ())
+    ~protocols:[ C.Srp; C.Aodv ]
+    ~pauses:[ 0.0; 900.0 ] ~trials:2
+    ~progress:(fun _ -> ())
+    ()
+
+let test_campaign_survives_sabotaged_cell () =
+  let sabotage = sabotage_spec "crash:AODV:0:1" in
+  let policy = { quick_policy with Sim.Supervisor.retries = 0 } in
+  let campaign = run_small_campaign ~policy ~sabotage ~jobs:2 () in
+  (match campaign.Sim.Experiment.failures with
+  | [ (key, f) ] ->
+      Alcotest.(check string) "protocol" "AODV"
+        (C.protocol_name key.Sim.Experiment.protocol);
+      Alcotest.(check (float 0.0)) "pause" 0.0 key.Sim.Experiment.pause;
+      Alcotest.(check int) "trial" 1 key.Sim.Experiment.trial;
+      Alcotest.(check bool) "crash, not timeout" false
+        f.Sim.Supervisor.timed_out
+  | fs -> Alcotest.failf "expected exactly one failure, got %d" (List.length fs));
+  (* the quarantined cell contributes nothing to the aggregates *)
+  let aodv0 = Sim.Experiment.cell campaign C.Aodv 0.0 in
+  Alcotest.(check int) "one AODV pause-0 trial survives" 1
+    (Stats.Summary.count aodv0.Sim.Experiment.delivery);
+  let rendered = Format.asprintf "%a" Sim.Report.all campaign in
+  let contains needle =
+    let nl = String.length needle and hl = String.length rendered in
+    let rec scan i = i + nl <= hl && (String.sub rendered i nl = needle || scan (i + 1)) in
+    scan 0
+  in
+  Alcotest.(check bool) "report announces the quarantine" true
+    (contains "quarantined");
+  match
+    Trace.Json.member "failures" (Sim.Report.campaign_json campaign)
+  with
+  | Some (Trace.Json.List [ _ ]) -> ()
+  | _ -> Alcotest.fail "campaign JSON must list the quarantined cell"
+
+let test_campaign_sabotage_heals_on_retry () =
+  (* the injected crash hits only attempt 1; one retry heals it, and the
+     healed campaign is byte-identical to an unsabotaged one *)
+  let sabotage = sabotage_spec "crash:SRP:0:0@1" in
+  let clean = run_small_campaign ~jobs:1 () in
+  let healed =
+    run_small_campaign ~policy:quick_policy ~sabotage ~jobs:1 ()
+  in
+  Alcotest.(check bool) "no failures recorded" true
+    (healed.Sim.Experiment.failures = []);
+  Alcotest.(check string) "report bytes identical to a clean run"
+    (Format.asprintf "%a" Sim.Report.all clean)
+    (Format.asprintf "%a" Sim.Report.all healed)
+
+let test_campaign_fail_fast_aborts () =
+  let sabotage = sabotage_spec "crash:AODV:0:1" in
+  match run_small_campaign ~sabotage ~jobs:2 () with
+  | _ -> Alcotest.fail "default (fail-fast) policy must abort the campaign"
+  | exception Sim.Pool.Cell_error _ -> ()
+
+let campaign_fingerprint c =
+  Format.asprintf "%a" Sim.Report.all c
+  ^ Trace.Json.to_string (Sim.Report.campaign_json c)
+
+let test_campaign_resume_equivalence () =
+  let path = Filename.temp_file "manet_ckpt" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      let straight = run_small_campaign ~jobs:1 () in
+      let journaled = run_small_campaign ~checkpoint:path ~jobs:2 () in
+      Alcotest.(check string) "journaled run matches straight-through"
+        (campaign_fingerprint straight)
+        (campaign_fingerprint journaled);
+      (* truncate the journal to header + 3 cells + a torn fragment, as a
+         kill mid-append would leave it *)
+      let lines =
+        In_channel.with_open_text path In_channel.input_lines
+        |> List.filter (fun l -> String.trim l <> "")
+      in
+      Alcotest.(check int) "journal holds header + 8 cells" 9
+        (List.length lines);
+      let keep = List.filteri (fun i _ -> i < 4) lines in
+      Out_channel.with_open_text path (fun oc ->
+          List.iter (fun l -> Out_channel.output_string oc (l ^ "\n")) keep;
+          Out_channel.output_string oc "{\"cell\":{\"proto");
+      let resumed = run_small_campaign ~checkpoint:path ~jobs:2 () in
+      Alcotest.(check string) "resumed run byte-identical"
+        (campaign_fingerprint straight)
+        (campaign_fingerprint resumed);
+      (* a fully journaled campaign restores without running anything *)
+      let restored = run_small_campaign ~checkpoint:path ~jobs:1 () in
+      Alcotest.(check string) "full restore byte-identical"
+        (campaign_fingerprint straight)
+        (campaign_fingerprint restored))
+
+let test_campaign_resume_rejects_foreign_journal () =
+  let path = Filename.temp_file "manet_ckpt" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      ignore (run_small_campaign ~checkpoint:path ~jobs:1 ());
+      (* same journal, different campaign shape: must refuse, not graft *)
+      match
+        Sim.Experiment.run ~checkpoint:path ~jobs:1 ~pause_scale:1.0
+          ~base:(small_campaign_base ())
+          ~protocols:[ C.Srp ] ~pauses:[ 0.0 ] ~trials:1
+          ~progress:(fun _ -> ())
+          ()
+      with
+      | _ -> Alcotest.fail "foreign journal must raise Resume_error"
+      | exception Sim.Experiment.Resume_error _ -> ())
 
 let test_config_presets () =
   Alcotest.(check int) "paper nodes" 100 C.paper.C.nodes;
@@ -347,5 +563,26 @@ let () =
             test_pool_propagates_exception;
           Alcotest.test_case "-j 4 campaign byte-identical to -j 1" `Slow
             test_campaign_parallel_equivalence;
+        ] );
+      ( "supervisor",
+        [
+          Alcotest.test_case "crash retries then succeeds" `Quick
+            test_supervisor_retry_then_succeed;
+          Alcotest.test_case "persistent crash quarantined" `Quick
+            test_supervisor_quarantines_persistent_crash;
+          Alcotest.test_case "hung cell times out" `Quick
+            test_supervisor_times_out_hung_cell;
+          Alcotest.test_case "fail-fast re-raises" `Quick
+            test_supervisor_fail_fast_reraises;
+          Alcotest.test_case "sabotaged campaign completes" `Slow
+            test_campaign_survives_sabotaged_cell;
+          Alcotest.test_case "sabotage heals on retry" `Slow
+            test_campaign_sabotage_heals_on_retry;
+          Alcotest.test_case "fail-fast campaign aborts" `Slow
+            test_campaign_fail_fast_aborts;
+          Alcotest.test_case "resume byte-identical" `Slow
+            test_campaign_resume_equivalence;
+          Alcotest.test_case "foreign journal rejected" `Slow
+            test_campaign_resume_rejects_foreign_journal;
         ] );
     ]

@@ -106,6 +106,73 @@ let test_null_is_disabled () =
     (Trace.ring_contents Trace.null)
 
 (* ------------------------------------------------------------------ *)
+(* Checkpoint journal *)
+
+let with_temp_journal f =
+  let path = Filename.temp_file "journal" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let append_raw path s =
+  let oc = open_out_gen [ Open_append; Open_binary ] 0o644 path in
+  output_string oc s;
+  close_out oc
+
+let test_journal_roundtrip () =
+  with_temp_journal (fun path ->
+      let r1 = J.Obj [ ("i", J.Int 1); ("f", J.Float 0.5) ] in
+      let r2 = J.Obj [ ("i", J.Int 2) ] in
+      (match Trace.Journal.resume path with
+      | Ok ([], j) ->
+          Trace.Journal.append j r1;
+          Trace.Journal.append j r2;
+          Trace.Journal.close j
+      | Ok _ -> Alcotest.fail "fresh journal should be empty"
+      | Error e -> Alcotest.fail e);
+      match Trace.Journal.load path with
+      | Ok records ->
+          Alcotest.(check (list string))
+            "records round-trip in order"
+            [ J.to_string r1; J.to_string r2 ]
+            (List.map J.to_string records)
+      | Error e -> Alcotest.fail e)
+
+let test_journal_drops_torn_tail () =
+  with_temp_journal (fun path ->
+      let r1 = J.Obj [ ("i", J.Int 1) ] in
+      (match Trace.Journal.resume path with
+      | Ok ([], j) ->
+          Trace.Journal.append j r1;
+          Trace.Journal.close j
+      | _ -> Alcotest.fail "fresh journal should be empty");
+      (* a kill mid-append leaves an unterminated fragment *)
+      append_raw path "{\"i\":2,\"trunca";
+      (match Trace.Journal.resume path with
+      | Ok (records, j) ->
+          Trace.Journal.close j;
+          Alcotest.(check (list string))
+            "valid prefix survives, torn tail dropped"
+            [ J.to_string r1 ]
+            (List.map J.to_string records)
+      | Error e -> Alcotest.fail e);
+      (* resume rewrote the file: the fragment is gone for good *)
+      match Trace.Journal.load path with
+      | Ok records ->
+          Alcotest.(check int) "file rewritten clean" 1 (List.length records)
+      | Error e -> Alcotest.fail e)
+
+let test_journal_rejects_corrupt_middle () =
+  with_temp_journal (fun path ->
+      append_raw path "{\"i\":1}\nnot json at all\n{\"i\":2}\n";
+      (match Trace.Journal.resume path with
+      | Ok _ -> Alcotest.fail "mid-file corruption must be an error"
+      | Error _ -> ());
+      match Trace.Journal.load path with
+      | Ok _ -> Alcotest.fail "load must reject mid-file corruption too"
+      | Error _ -> ())
+
+(* ------------------------------------------------------------------ *)
 (* Determinism *)
 
 let jsonl_of_run config =
@@ -223,6 +290,15 @@ let () =
         [
           Alcotest.test_case "ring keeps last" `Quick test_ring_keeps_last;
           Alcotest.test_case "null disabled" `Quick test_null_is_disabled;
+        ] );
+      ( "journal",
+        [
+          Alcotest.test_case "append/load roundtrip" `Quick
+            test_journal_roundtrip;
+          Alcotest.test_case "torn tail dropped" `Quick
+            test_journal_drops_torn_tail;
+          Alcotest.test_case "corrupt middle rejected" `Quick
+            test_journal_rejects_corrupt_middle;
         ] );
       ( "determinism",
         [
