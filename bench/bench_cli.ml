@@ -13,6 +13,8 @@ type t = {
   cell_timeout : float;
   retries : int;
   fail_fast : bool;
+  prof : bool;
+  prof_out : string option;
 }
 
 let default =
@@ -31,6 +33,8 @@ let default =
     cell_timeout = 0.0;
     retries = 1;
     fail_fast = false;
+    prof = false;
+    prof_out = None;
   }
 
 let known_sections =
@@ -42,13 +46,17 @@ let usage =
   \       [--full] [--quiet] [-j N | --jobs N] [--out PATH]\n\
   \       [--check-regression PATH] [--compare-sequential]\n\
   \       [--resume PATH] [--cell-timeout S] [--retries N] [--fail-fast]\n\
+  \       [--prof] [--prof-out PATH]\n\
    sections: " ^ String.concat " " known_sections ^ " (default: all)\n\
    -j N farms campaign cells over N domains; results are byte-identical\n\
    whatever N is. --check-regression compares fresh throughput against the\n\
    perf.events_per_sec_per_job recorded in PATH and exits 3 below 75% of it.\n\
    --resume journals resolved campaign cells to PATH and skips the ones\n\
    already journaled; --cell-timeout/--retries/--fail-fast set the\n\
-   supervision policy (crashed or wedged cells retry, then quarantine)."
+   supervision policy (crashed or wedged cells retry, then quarantine).\n\
+   --prof appends a perf_profile member (hot-path spans, per-domain GC) to\n\
+   the campaign JSON and prints a Profile section; --prof-out also writes\n\
+   the profile as Prometheus text (implies --prof)."
 
 let ( let* ) = Result.bind
 
@@ -72,7 +80,7 @@ let parse args =
       when List.mem flag
              [ "--trials"; "--duration"; "--flows"; "--jobs"; "-j";
                "--check-regression"; "--out"; "--resume"; "--cell-timeout";
-               "--retries" ] ->
+               "--retries"; "--prof-out" ] ->
         Error (flag ^ ": missing argument")
     | "--trials" :: v :: rest ->
         let* trials = int_arg "--trials" v in
@@ -101,6 +109,9 @@ let parse args =
               (Printf.sprintf "--retries: expected a non-negative integer, got %s" v)
         | None -> Error (Printf.sprintf "--retries: expected an integer, got %S" v))
     | "--fail-fast" :: rest -> go { acc with fail_fast = true } sections rest
+    | "--prof" :: rest -> go { acc with prof = true } sections rest
+    | "--prof-out" :: v :: rest ->
+        go { acc with prof = true; prof_out = Some v } sections rest
     | "--compare-sequential" :: rest ->
         go { acc with compare_sequential = true } sections rest
     | "--full" :: rest -> go { acc with full = true } sections rest

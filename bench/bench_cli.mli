@@ -25,6 +25,13 @@ type t = {
   cell_timeout : float;  (** wall-clock budget per cell attempt; 0 = none *)
   retries : int;  (** extra attempts before a failing cell is quarantined *)
   fail_fast : bool;  (** abort on the first cell failure (legacy behaviour) *)
+  prof : bool;
+      (** [--prof]: profile the measured campaign — hot-path spans and
+          per-domain GC deltas into a [perf_profile] JSON member plus a
+          printed Profile section *)
+  prof_out : string option;
+      (** [--prof-out PATH]: also export the profile as Prometheus text
+          (implies [prof]) *)
 }
 
 val default : t

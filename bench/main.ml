@@ -75,10 +75,28 @@ let run_campaign ?checkpoint opts ~jobs =
 
 (* The throughput record appended to the campaign JSON. Normalised
    events/s/job is what the regression gate compares: it is stable across
-   differing [-j] settings on the same machine. *)
-let perf_member ~jobs ~wall ~sequential_wall campaign =
+   differing [-j] settings on the same machine. Since the observability
+   layer the member also carries the per-worker-domain ledger (cells run,
+   busy wall time, GC deltas) so the bench trajectory localises where a
+   speedup — or a slowdown — comes from; the gate reads only
+   [events_per_sec_per_job] and so accepts both the old and new shapes. *)
+let worker_json (w : Obs.worker) =
+  J.Obj
+    [
+      ("domain", J.Int w.Obs.w_domain);
+      ("cells", J.Int w.Obs.w_cells);
+      ("busy_seconds", J.Float (float_of_int w.Obs.w_busy_ns /. 1e9));
+      ("minor_collections", J.Int w.Obs.w_minor_collections);
+      ("major_collections", J.Int w.Obs.w_major_collections);
+      ("minor_words", J.Int w.Obs.w_minor_words);
+      ("promoted_words", J.Int w.Obs.w_promoted_words);
+      ("major_words", J.Int w.Obs.w_major_words);
+    ]
+
+let perf_member ~jobs ~wall ~sequential_wall ~workers campaign =
   let events = campaign.Sim.Experiment.engine_events in
   let eps = if wall > 0.0 then float_of_int events /. wall else 0.0 in
+  let sum f = List.fold_left (fun acc w -> acc + f w) 0 workers in
   J.Obj
     ([
        ("jobs", J.Int jobs);
@@ -86,6 +104,18 @@ let perf_member ~jobs ~wall ~sequential_wall campaign =
        ("engine_events", J.Int events);
        ("events_per_sec", J.Float eps);
        ("events_per_sec_per_job", J.Float (eps /. float_of_int jobs));
+       ("workers", J.List (List.map worker_json workers));
+       ( "gc",
+         J.Obj
+           [
+             ( "minor_collections",
+               J.Int (sum (fun w -> w.Obs.w_minor_collections)) );
+             ( "major_collections",
+               J.Int (sum (fun w -> w.Obs.w_major_collections)) );
+             ("minor_words", J.Int (sum (fun w -> w.Obs.w_minor_words)));
+             ("promoted_words", J.Int (sum (fun w -> w.Obs.w_promoted_words)));
+             ("major_words", J.Int (sum (fun w -> w.Obs.w_major_words)));
+           ] );
      ]
     @
     match sequential_wall with
@@ -326,6 +356,7 @@ let () =
   in
   let t0 = Unix.gettimeofday () in
   if wants_campaign opts then begin
+    if opts.Bench_cli.prof then Obs.enable ();
     let sequential_wall =
       if opts.Bench_cli.compare_sequential && opts.Bench_cli.jobs > 1 then begin
         Format.printf "sequential reference pass (-j 1):@.";
@@ -334,10 +365,14 @@ let () =
       end
       else None
     in
+    (* the measured pass owns the ledger: spans, counters and per-domain
+       GC deltas accumulated by the reference pass must not bleed in *)
+    Obs.reset ();
     let campaign, wall =
       run_campaign ?checkpoint:opts.Bench_cli.resume opts
         ~jobs:opts.Bench_cli.jobs
     in
+    let snapshot = Obs.snapshot () in
     let ppf = Format.std_formatter in
     let section name render =
       if wants opts name || wants opts "campaign" then begin
@@ -362,8 +397,12 @@ let () =
             @ [
                 ( "perf",
                   perf_member ~jobs:opts.Bench_cli.jobs ~wall ~sequential_wall
-                    campaign );
-              ])
+                    ~workers:snapshot.Obs.workers campaign );
+              ]
+            @
+            if opts.Bench_cli.prof then
+              [ ("perf_profile", Sim.Report.profile_json snapshot) ]
+            else [])
       | other -> other
     in
     let oc = open_out opts.Bench_cli.out in
@@ -371,6 +410,11 @@ let () =
     output_char oc '\n';
     close_out oc;
     Format.printf "@.campaign JSON written to %s@." opts.Bench_cli.out;
+    if opts.Bench_cli.prof then
+      Format.printf "@.%a" Sim.Report.profile snapshot;
+    Option.iter
+      (fun path -> Obs.Export.write_prometheus path snapshot)
+      opts.Bench_cli.prof_out;
     (match sequential_wall with
     | Some sw ->
         Format.printf "parallel speedup at -j %d: %.2fx (%.1fs -> %.1fs)@."

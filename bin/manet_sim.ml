@@ -129,6 +129,43 @@ let config_term =
 let jobs_term ~doc =
   Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
 
+(* --prof / --prof-out: wall-clock profiling of the real hot paths. The
+   snapshot is taken after the work completes; simulated behaviour is
+   untouched (spans are wall-clock side-state outside the DES), so a
+   profiled run computes the exact same results. *)
+let prof_term =
+  let open Term.Syntax in
+  let+ prof =
+    Arg.(
+      value & flag
+      & info [ "prof" ]
+          ~doc:
+            "Profile the run: wall-clock span timers on the hot paths \
+             (event dispatch by kind, channel transmit, grid rebuilds, \
+             protocol handlers, trace writes) plus per-worker-domain GC \
+             deltas. Appends a perf_profile member to --json output and a \
+             Profile section to the report. Simulated results are \
+             unchanged.")
+  and+ prof_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "prof-out" ] ~docv:"FILE"
+          ~doc:
+            "Write the profile as Prometheus text exposition to $(docv) \
+             (implies --prof).")
+  in
+  (prof || prof_out <> None, prof_out)
+
+(* append the profile to the envelope, print the human section, export
+   Prometheus text — the one place every profiled command funnels through *)
+let emit_profile snapshot ~prof_out envelope =
+  Format.printf "@.%a" Sim.Report.profile snapshot;
+  Option.iter
+    (fun path -> Obs.Export.write_prometheus path snapshot)
+    prof_out;
+  Option.map (fun j -> Sim.Report.add_profile j snapshot) envelope
+
 let write_json path json =
   let oc = open_out path in
   output_string oc (Trace.Json.to_string json);
@@ -174,8 +211,10 @@ let run_cmd =
           "Worker domains. A single run is one sequential event loop, so \
            this is accepted for interface symmetry with $(b,campaign) and \
            $(b,fuzz) but values above 1 change nothing here."
+    and+ prof, prof_out = prof_term
     in
     ignore (jobs : int);
+    if prof then Obs.enable ();
     let config = { config with Sim.Config.protocol } in
     let trace_oc = Option.map open_out trace_file in
     let trace =
@@ -195,12 +234,19 @@ let run_cmd =
     Format.printf "%a" Sim.Report.run result;
     (* engine stats go to stderr: stdout stays byte-identical across
        traced/untraced runs of the same seed *)
-    Format.eprintf "engine: %d events in %.2f s wall (%.0f events/s)@."
-      result.Sim.Metrics.engine_events wall
-      (if wall > 0.0 then float_of_int result.Sim.Metrics.engine_events /. wall
-       else 0.0);
+    Format.eprintf "%s@."
+      (Obs.Export.engine_line ~events:result.Sim.Metrics.engine_events ~wall);
+    let envelope =
+      match json_file with
+      | Some _ -> Some (Sim.Report.run_json config result)
+      | None -> None
+    in
+    let envelope =
+      if prof then emit_profile (Obs.snapshot ()) ~prof_out envelope
+      else envelope
+    in
     Option.iter
-      (fun path -> write_json path (Sim.Report.run_json config result))
+      (fun path -> write_json path (Option.get envelope))
       json_file
   in
   Cmd.v (Cmd.info "run" ~doc) term
@@ -275,8 +321,29 @@ let campaign_cmd =
                MODE:PROTOCOL:PAUSE:TRIAL[@FAILS] with MODE crash or hang \
                (e.g. crash:AODV:0:1, or crash:SRP:0:0@1 to fail only the \
                first attempt). Also read from MANET_SABOTAGE.")
+    and+ prof, prof_out = prof_term
     in
-    let progress = if quiet then fun _ -> () else prerr_endline in
+    if prof then Obs.enable ();
+    (* live meter only on an interactive stderr: piped/redirected runs
+       (CI byte-comparisons included) see exactly the historical stream *)
+    let meter =
+      if (not quiet) && Unix.isatty Unix.stderr then
+        Some
+          (Obs.Progress.create
+             ~total:
+               (List.length Sim.Config.all_protocols
+               * List.length Sim.Config.paper_pause_times
+               * trials)
+             ())
+      else None
+    in
+    let progress =
+      if quiet then fun _ -> ()
+      else
+        match meter with
+        | Some m -> Obs.Progress.interject m
+        | None -> prerr_endline
+    in
     let pause_scale = Stdlib.min 1.0 (config.Sim.Config.duration /. 900.0) in
     let policy =
       if fail_fast then Sim.Supervisor.fail_fast
@@ -298,14 +365,27 @@ let campaign_cmd =
       | None -> Sim.Sabotage.from_env ()
     in
     match
-      Sim.Experiment.run ~policy ?checkpoint:resume ?sabotage ~jobs
-        ~pause_scale ~base:config ~protocols:Sim.Config.all_protocols
-        ~pauses:Sim.Config.paper_pause_times ~trials ~progress ()
+      Fun.protect
+        ~finally:(fun () -> Option.iter Obs.Progress.finish meter)
+        (fun () ->
+          Sim.Experiment.run ~policy ?checkpoint:resume ?sabotage ?meter
+            ~jobs ~pause_scale ~base:config
+            ~protocols:Sim.Config.all_protocols
+            ~pauses:Sim.Config.paper_pause_times ~trials ~progress ())
     with
     | campaign ->
         Format.printf "%a@." Sim.Report.all campaign;
+        let envelope =
+          match json_file with
+          | Some _ -> Some (Sim.Report.campaign_json campaign)
+          | None -> None
+        in
+        let envelope =
+          if prof then emit_profile (Obs.snapshot ()) ~prof_out envelope
+          else envelope
+        in
         Option.iter
-          (fun path -> write_json path (Sim.Report.campaign_json campaign))
+          (fun path -> write_json path (Option.get envelope))
           json_file
     | exception Sim.Pool.Cell_error { cell; exn } ->
         Format.eprintf "campaign: aborted by cell %s: %s@." cell

@@ -1,4 +1,9 @@
-type event = { action : unit -> unit; mutable live : bool; owner : t }
+type event = {
+  action : unit -> unit;
+  mutable live : bool;
+  owner : t;
+  span : Obs.span;  (* event-kind attribution for --prof dispatch timing *)
+}
 
 and t = {
   queue : event Heap.t;
@@ -9,6 +14,9 @@ and t = {
 }
 
 type handle = event
+
+(* events whose scheduler did not name a kind *)
+let span_other = Obs.span "event.other"
 
 let create () =
   {
@@ -21,20 +29,20 @@ let create () =
 
 let now t = t.clock
 
-let schedule_at t ~time f =
+let schedule_at ?(span = span_other) t ~time f =
   if time < t.clock then
     invalid_arg
       (Printf.sprintf "Engine.schedule_at: time %g is before now %g" time
          t.clock);
-  let event = { action = f; live = true; owner = t } in
+  let event = { action = f; live = true; owner = t; span } in
   Heap.add t.queue ~key:time ~tie:t.seq event;
   t.seq <- t.seq + 1;
   t.live_events <- t.live_events + 1;
   event
 
-let schedule t ~delay f =
+let schedule ?span t ~delay f =
   if delay < 0.0 then invalid_arg "Engine.schedule: negative delay";
-  schedule_at t ~time:(t.clock +. delay) f
+  schedule_at ?span t ~time:(t.clock +. delay) f
 
 let cancel event =
   if event.live then begin
@@ -63,7 +71,12 @@ let step t =
   t.live_events <- t.live_events - 1;
   t.clock <- time;
   t.executed <- t.executed + 1;
-  event.action ()
+  if Obs.enabled () then begin
+    Obs.start event.span;
+    event.action ();
+    Obs.stop event.span
+  end
+  else event.action ()
 
 (* how many events run between two watchdog calls: rare enough that the
    hook never shows up in profiles, frequent enough that a wedged run is

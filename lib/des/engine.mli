@@ -15,12 +15,17 @@ val create : unit -> t
 val now : t -> float
 
 (** [schedule t ~delay f] runs [f ()] at [now t +. delay].
+
+    [span] attributes the event's execution time to a named event kind in
+    [--prof] profiles (default ["event.other"]). Purely observational: it
+    never affects ordering or outcomes.
     @raise Invalid_argument if [delay < 0]. *)
-val schedule : t -> delay:float -> (unit -> unit) -> handle
+val schedule : ?span:Obs.span -> t -> delay:float -> (unit -> unit) -> handle
 
 (** [schedule_at t ~time f] runs [f ()] at absolute [time].
     @raise Invalid_argument if [time] is in the past. *)
-val schedule_at : t -> time:float -> (unit -> unit) -> handle
+val schedule_at :
+  ?span:Obs.span -> t -> time:float -> (unit -> unit) -> handle
 
 (** [cancel h] prevents the event from firing. Idempotent; cancelling an
     already-fired event is a no-op. *)

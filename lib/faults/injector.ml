@@ -1,3 +1,5 @@
+let span_fault = Obs.span "event.fault"
+
 type stats = {
   link_downs : int;
   link_ups : int;
@@ -114,7 +116,8 @@ let create ?(trace = Trace.null) engine ~nodes ~rng ~plan ~on_crash ~on_restart 
     (fun { Spec.at; ev } ->
       if at >= now then
         t.timers <-
-          Des.Engine.schedule_at engine ~time:at (fun () -> apply t ev)
+          Des.Engine.schedule_at ~span:span_fault engine ~time:at (fun () ->
+              apply t ev)
           :: t.timers)
     plan;
   t

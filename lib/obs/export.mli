@@ -1,0 +1,11 @@
+(** Text expositions of an observability snapshot. *)
+
+(** Prometheus 0.0.4 text format: one [# HELP]/[# TYPE] pair per metric
+    family, no duplicate sample names, label values escaped. *)
+val prometheus : Core.snapshot -> string
+
+val write_prometheus : string -> Core.snapshot -> unit
+
+(** The stable wall-clock engine-stats line (no trailing newline):
+    ["engine: %d events in %.2f s wall (%.0f events/s)"]. *)
+val engine_line : events:int -> wall:float -> string

@@ -1,0 +1,5 @@
+(* Library entry point: the core registry plus the text exporters and
+   the live progress meter. *)
+include Core
+module Export = Export
+module Progress = Progress

@@ -1,0 +1,108 @@
+(* Live campaign progress meter: a single self-overwriting stderr line
+   with cells done/total, recovery activity, throughput and an ETA.
+   Pure presentation — it reads outcome data pushed at cell boundaries
+   and never influences scheduling, so enabling it cannot perturb
+   results. Redraws are throttled; [interject] lets other stderr output
+   (sampler gauge lines, supervisor warnings) print cleanly mid-meter. *)
+
+type t = {
+  out : out_channel;
+  total : int;
+  start : float;  (* Unix.gettimeofday at creation *)
+  mutable done_ : int;
+  mutable events : int;
+  mutable retries : int;
+  mutable quarantined : int;
+  mutable last_draw : float;
+  mutable last_len : int;  (* width of the previous meter line *)
+  mutex : Mutex.t;
+}
+
+let create ?(out = stderr) ~total () =
+  {
+    out;
+    total;
+    start = Unix.gettimeofday ();
+    done_ = 0;
+    events = 0;
+    retries = 0;
+    quarantined = 0;
+    last_draw = 0.;
+    last_len = 0;
+    mutex = Mutex.create ();
+  }
+
+let throttle = 0.1 (* s between redraws; completion always draws *)
+
+let rate_str ev elapsed =
+  if elapsed <= 0. then "-"
+  else
+    let r = float_of_int ev /. elapsed in
+    if r >= 1e6 then Printf.sprintf "%.1fM ev/s" (r /. 1e6)
+    else if r >= 1e3 then Printf.sprintf "%.0fk ev/s" (r /. 1e3)
+    else Printf.sprintf "%.0f ev/s" r
+
+let eta_str t elapsed =
+  if t.done_ = 0 || t.done_ >= t.total then "-"
+  else begin
+    let per_cell = elapsed /. float_of_int t.done_ in
+    let remaining = per_cell *. float_of_int (t.total - t.done_) in
+    let s = int_of_float remaining in
+    if s >= 3600 then Printf.sprintf "%dh%02dm" (s / 3600) (s mod 3600 / 60)
+    else Printf.sprintf "%dm%02ds" (s / 60) (s mod 60)
+  end
+
+let render t =
+  let elapsed = Unix.gettimeofday () -. t.start in
+  let pct =
+    if t.total = 0 then 100.
+    else 100. *. float_of_int t.done_ /. float_of_int t.total
+  in
+  let extras =
+    (if t.retries > 0 then Printf.sprintf " | %d retries" t.retries else "")
+    ^
+    if t.quarantined > 0 then
+      Printf.sprintf " | %d quarantined" t.quarantined
+    else ""
+  in
+  Printf.sprintf "campaign: [%d/%d] %3.0f%%%s | %s | ETA %s" t.done_ t.total
+    pct extras
+    (rate_str t.events elapsed)
+    (eta_str t elapsed)
+
+(* clear the previous line, then (optionally) redraw *)
+let erase_locked t =
+  if t.last_len > 0 then begin
+    output_string t.out ("\r" ^ String.make t.last_len ' ' ^ "\r");
+    t.last_len <- 0
+  end
+
+let draw_locked t =
+  let line = render t in
+  let pad = Stdlib.max 0 (t.last_len - String.length line) in
+  output_string t.out ("\r" ^ line ^ String.make pad ' ');
+  t.last_len <- String.length line;
+  flush t.out
+
+let cell_done t ~events ~retries ~quarantined =
+  Mutex.protect t.mutex (fun () ->
+      t.done_ <- t.done_ + 1;
+      t.events <- t.events + events;
+      t.retries <- retries;
+      t.quarantined <- quarantined;
+      let now = Unix.gettimeofday () in
+      if now -. t.last_draw >= throttle || t.done_ >= t.total then begin
+        t.last_draw <- now;
+        draw_locked t
+      end)
+
+let interject t line =
+  Mutex.protect t.mutex (fun () ->
+      erase_locked t;
+      output_string t.out (line ^ "\n");
+      draw_locked t)
+
+let finish t =
+  Mutex.protect t.mutex (fun () ->
+      erase_locked t;
+      flush t.out)

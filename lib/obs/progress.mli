@@ -1,0 +1,18 @@
+(** Live stderr progress meter for campaigns: one self-overwriting line
+    with cells done/total, retries, quarantines, events/s and an ETA.
+    Thread-safe; pure presentation (never influences scheduling). *)
+
+type t
+
+val create : ?out:out_channel -> total:int -> unit -> t
+
+(** Credit one finished cell. [retries]/[quarantined] are campaign-wide
+    running totals (not deltas). Redraws are throttled to ~10 Hz. *)
+val cell_done : t -> events:int -> retries:int -> quarantined:int -> unit
+
+(** Print a full line (e.g. a sampler gauge line) without tearing the
+    meter: erase, print, redraw. *)
+val interject : t -> string -> unit
+
+(** Erase the meter and leave the cursor on a clean line. *)
+val finish : t -> unit

@@ -1,3 +1,5 @@
+let span_timer = Obs.span "proto.aodv.timer"
+
 module Frame = Wireless.Frame
 
 type config = {
@@ -259,7 +261,7 @@ let handle_rreq t ~from rreq =
               Des.Rng.float t.ctx.Routing_intf.rng t.config.relay_jitter
             in
             ignore
-              (Des.Engine.schedule t.ctx.Routing_intf.engine ~delay
+              (Des.Engine.schedule ~span:span_timer t.ctx.Routing_intf.engine ~delay
                  (fun () ->
                    t.ctx.Routing_intf.mac_send
                      (control_frame t ~dst:Frame.Broadcast

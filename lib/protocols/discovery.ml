@@ -1,3 +1,5 @@
+let span_timer = Obs.span "proto.discovery.timer"
+
 type state = { mutable timer : Des.Engine.handle option }
 
 type t = {
@@ -93,7 +95,7 @@ let rec attempt t ~dst ~index =
   (* retry cap: the TTL schedule, then [extra_retries] more network-wide
      attempts (RFC 3561's RREQ_RETRIES), each still doubling the wait *)
   let handle =
-    Des.Engine.schedule t.engine ~delay:timeout (fun () ->
+    Des.Engine.schedule ~span:span_timer t.engine ~delay:timeout (fun () ->
         if index + 1 >= Array.length t.ttls + t.extra_retries then begin
           Hashtbl.remove t.states dst;
           note_failure t dst;

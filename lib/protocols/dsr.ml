@@ -1,3 +1,5 @@
+let span_timer = Obs.span "proto.dsr.timer"
+
 module Frame = Wireless.Frame
 
 type config = {
@@ -264,7 +266,7 @@ let handle_rreq t ~from:_ rreq =
               Des.Rng.float t.ctx.Routing_intf.rng t.config.relay_jitter
             in
             ignore
-              (Des.Engine.schedule t.ctx.Routing_intf.engine ~delay
+              (Des.Engine.schedule ~span:span_timer t.ctx.Routing_intf.engine ~delay
                  (fun () ->
                    send_control t ~dst:Frame.Broadcast
                      ~size:(control_size t ~hops:(List.length record))

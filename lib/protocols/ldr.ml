@@ -1,3 +1,5 @@
+let span_timer = Obs.span "proto.ldr.timer"
+
 module Frame = Wireless.Frame
 
 type config = {
@@ -281,7 +283,8 @@ let handle_rreq t ~from rreq =
           Des.Rng.float t.ctx.Routing_intf.rng t.config.relay_jitter
         in
         ignore
-          (Des.Engine.schedule t.ctx.Routing_intf.engine ~delay (fun () ->
+          (Des.Engine.schedule ~span:span_timer t.ctx.Routing_intf.engine ~delay
+             (fun () ->
                t.ctx.Routing_intf.mac_send
                  (control_frame t ~dst:Frame.Broadcast
                     ~size:t.config.rreq_size ~payload:(Rreq relayed))))

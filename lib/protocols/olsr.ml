@@ -1,3 +1,5 @@
+let span_timer = Obs.span "proto.olsr.timer"
+
 module Frame = Wireless.Frame
 
 type config = {
@@ -266,7 +268,7 @@ let handle_tc t ~from tc =
       in
       let delay = Des.Rng.float t.ctx.Routing_intf.rng 0.01 in
       ignore
-        (Des.Engine.schedule t.ctx.Routing_intf.engine ~delay (fun () ->
+        (Des.Engine.schedule ~span:span_timer t.ctx.Routing_intf.engine ~delay (fun () ->
              t.ctx.Routing_intf.mac_send
                (Frame.with_kind
                   (Frame.make ~src:me ~dst:Frame.Broadcast ~size
@@ -318,7 +320,7 @@ let receive t ~src frame =
 
 let rec schedule_hello t =
   ignore
-    (Des.Engine.schedule t.ctx.Routing_intf.engine
+    (Des.Engine.schedule ~span:span_timer t.ctx.Routing_intf.engine
        ~delay:(period t t.config.hello_interval)
        (fun () ->
          send_hello t;
@@ -326,7 +328,7 @@ let rec schedule_hello t =
 
 let rec schedule_tc t =
   ignore
-    (Des.Engine.schedule t.ctx.Routing_intf.engine
+    (Des.Engine.schedule ~span:span_timer t.ctx.Routing_intf.engine
        ~delay:(period t t.config.tc_interval)
        (fun () ->
          send_tc t;
@@ -348,13 +350,13 @@ let create_full ?(config = default_config) ctx =
   in
   (* desynchronise the very first beacons across nodes *)
   ignore
-    (Des.Engine.schedule ctx.Routing_intf.engine
+    (Des.Engine.schedule ~span:span_timer ctx.Routing_intf.engine
        ~delay:(Des.Rng.float ctx.Routing_intf.rng config.hello_interval)
        (fun () ->
          send_hello t;
          schedule_hello t));
   ignore
-    (Des.Engine.schedule ctx.Routing_intf.engine
+    (Des.Engine.schedule ~span:span_timer ctx.Routing_intf.engine
        ~delay:(Des.Rng.float ctx.Routing_intf.rng config.tc_interval)
        (fun () ->
          send_tc t;

@@ -1,3 +1,5 @@
+let span_timer = Obs.span "proto.pending.timer"
+
 type entry = { data : Wireless.Frame.data; size : int; deadline : float }
 
 type t = {
@@ -64,7 +66,7 @@ let rec arm_sweep t =
               let time = Stdlib.max deadline (Des.Engine.now engine) in
               t.sweep <-
                 Some
-                  (Des.Engine.schedule_at engine ~time (fun () ->
+                  (Des.Engine.schedule_at ~span:span_timer engine ~time (fun () ->
                        t.sweep <- None;
                        let time = Des.Engine.now engine in
                        Hashtbl.iter (fun _ q -> drop_expired t q ~time) t.queues;

@@ -1,3 +1,5 @@
+let span_timer = Obs.span "proto.srp.timer"
+
 module Ordering = Slr.Ordering
 module Fraction = Slr.Fraction
 module New_order = Slr.New_order
@@ -331,7 +333,8 @@ let broadcast_rreq t rreq ~jitter =
   else
     let delay = Des.Rng.float t.ctx.Routing_intf.rng jitter in
     ignore
-      (Des.Engine.schedule t.ctx.Routing_intf.engine ~delay (fun () ->
+      (Des.Engine.schedule ~span:span_timer t.ctx.Routing_intf.engine
+         ~delay (fun () ->
            t.ctx.Routing_intf.mac_send frame))
 
 let originate_rreq t ~dst ~ttl ~rr =
@@ -469,7 +472,8 @@ let rec send_rrep_reliable t ~to_ ?(attempt = 0) rrep =
     | Some old -> Des.Engine.cancel old
     | None -> ());
     Hashtbl.replace t.racks key
-      (Des.Engine.schedule t.ctx.Routing_intf.engine ~delay (fun () ->
+      (Des.Engine.schedule ~span:span_timer t.ctx.Routing_intf.engine
+         ~delay (fun () ->
            Hashtbl.remove t.racks key;
            t.rack_retx <- t.rack_retx + 1;
            send_rrep_reliable t ~to_ ~attempt:(attempt + 1) rrep))

@@ -238,7 +238,7 @@ let load_checkpoint path ~header =
 
 (* ------------------------------------------------------------------ *)
 
-let run ?(policy = Supervisor.fail_fast) ?checkpoint ?sabotage ~jobs
+let run ?(policy = Supervisor.fail_fast) ?checkpoint ?sabotage ?meter ~jobs
     ~pause_scale ~base ~protocols ~pauses ~trials ~progress () =
   let t =
     { base; protocols; pauses; trials; cells = Hashtbl.create 64;
@@ -274,11 +274,21 @@ let run ?(policy = Supervisor.fail_fast) ?checkpoint ?sabotage ~jobs
          (fun spec -> not (Hashtbl.mem journaled (key_of spec)))
          (Array.to_list specs))
   in
-  if Hashtbl.length journaled > 0 then
+  if Hashtbl.length journaled > 0 then begin
     progress
       (Printf.sprintf "resume: %d of %d cells restored from the journal"
          (Array.length specs - Array.length pending)
          (Array.length specs));
+    (* restored cells advance the meter immediately (no fresh events) *)
+    match meter with
+    | Some m ->
+        for _ = 1 to Array.length specs - Array.length pending do
+          Obs.Progress.cell_done m ~events:0
+            ~retries:(Supervisor.retries_total ())
+            ~quarantined:(Supervisor.quarantined_total ())
+        done
+    | None -> ()
+  end;
   let io_mutex = Mutex.create () in
   let spec_name (pause, trial, protocol) =
     Printf.sprintf "%s pause=%g trial=%d"
@@ -296,7 +306,10 @@ let run ?(policy = Supervisor.fail_fast) ?checkpoint ?sabotage ~jobs
       }
     in
     let started = Unix.gettimeofday () in
-    let result = Runner.run ?deadline config in
+    (* per-cell wall time and GC delta feed this worker domain's ledger —
+       the raw material of the --prof per-domain telemetry *)
+    let result, gc = Obs.gc_capture (fun () -> Runner.run ?deadline config) in
+    Obs.cell_done ~wall:(Unix.gettimeofday () -. started) ~gc;
     let line =
       Format.asprintf "%-5s pause=%4.0f trial=%d  %a  (%.1fs)%s"
         (Config.protocol_name protocol)
@@ -309,6 +322,17 @@ let run ?(policy = Supervisor.fail_fast) ?checkpoint ?sabotage ~jobs
     result
   in
   let on_outcome spec (outcome : (Metrics.result, Supervisor.failure) result) =
+    (match meter with
+    | Some m ->
+        let events =
+          match outcome with
+          | Ok r -> r.Metrics.engine_events
+          | Error _ -> 0
+        in
+        Obs.Progress.cell_done m ~events
+          ~retries:(Supervisor.retries_total ())
+          ~quarantined:(Supervisor.quarantined_total ())
+    | None -> ());
     Mutex.protect io_mutex (fun () ->
         (match outcome with
         | Ok _ -> ()

@@ -82,6 +82,7 @@ val run :
   ?policy:Supervisor.policy ->
   ?checkpoint:string ->
   ?sabotage:Sabotage.t ->
+  ?meter:Obs.Progress.t ->
   jobs:int ->
   pause_scale:float ->
   base:Config.t ->

@@ -1,3 +1,5 @@
+let span_check = Obs.span "event.loopcheck"
+
 module Ordering = Slr.Ordering
 
 exception Violation of string
@@ -57,7 +59,7 @@ let run (config : Config.t) ~interval =
           let rec tick time =
             if time < config.duration then
               ignore
-                (Des.Engine.schedule_at engine ~time (fun () ->
+                (Des.Engine.schedule_at ~span:span_check engine ~time (fun () ->
                      sweep ();
                      tick (time +. interval)))
           in
@@ -142,7 +144,7 @@ let run_online (config : Config.t) ~interval =
           let rec tick time =
             if time < config.duration then
               ignore
-                (Des.Engine.schedule_at engine ~time (fun () ->
+                (Des.Engine.schedule_at ~span:span_check engine ~time (fun () ->
                      let dsts =
                        List.sort compare
                          (Hashtbl.fold (fun d () acc -> d :: acc) dirty [])

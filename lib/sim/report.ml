@@ -180,6 +180,110 @@ let campaign_json (t : Experiment.t) =
              t.Experiment.failures) );
     ]
 
+(* ------------------------------------------------------------------ *)
+(* --prof rendering. The profile is appended by the CLI layer, never by
+   [campaign_json]/[run_json] themselves: unprofiled envelopes must stay
+   byte-identical to pre-observability builds. *)
+
+let profile_json (s : Obs.snapshot) =
+  let module J = Trace.Json in
+  let dist_json (d : Obs.dist) =
+    J.Obj
+      [
+        ("name", J.String d.Obs.dist_name);
+        ("count", J.Int d.Obs.dist_count);
+        ("total_ns", J.Int d.Obs.dist_total);
+        ("p50_ns", J.Int (Obs.percentile d 0.5));
+        ("p99_ns", J.Int (Obs.percentile d 0.99));
+      ]
+  in
+  let hist_json (d : Obs.dist) =
+    J.Obj
+      [
+        ("name", J.String d.Obs.dist_name);
+        ("count", J.Int d.Obs.dist_count);
+        ("sum", J.Int d.Obs.dist_total);
+        ("p50", J.Int (Obs.percentile d 0.5));
+        ("p99", J.Int (Obs.percentile d 0.99));
+      ]
+  in
+  let worker_json (w : Obs.worker) =
+    J.Obj
+      [
+        ("domain", J.Int w.Obs.w_domain);
+        ("cells", J.Int w.Obs.w_cells);
+        ("busy_seconds", J.Float (float_of_int w.Obs.w_busy_ns /. 1e9));
+        ("minor_collections", J.Int w.Obs.w_minor_collections);
+        ("major_collections", J.Int w.Obs.w_major_collections);
+        ("minor_words", J.Int w.Obs.w_minor_words);
+        ("promoted_words", J.Int w.Obs.w_promoted_words);
+        ("major_words", J.Int w.Obs.w_major_words);
+      ]
+  in
+  J.Obj
+    [
+      ("spans", J.List (List.map dist_json s.Obs.spans));
+      ("histograms", J.List (List.map hist_json s.Obs.hists));
+      ( "counters",
+        J.Obj (List.map (fun (k, v) -> (k, J.Int v)) s.Obs.counters) );
+      ("workers", J.List (List.map worker_json s.Obs.workers));
+    ]
+
+let add_profile json snapshot =
+  let module J = Trace.Json in
+  match json with
+  | J.Obj members ->
+      J.Obj (members @ [ ("perf_profile", profile_json snapshot) ])
+  | other -> other
+
+let pp_ns ppf ns =
+  if ns >= 1_000_000_000 then
+    Format.fprintf ppf "%8.2f s" (float_of_int ns /. 1e9)
+  else if ns >= 1_000_000 then
+    Format.fprintf ppf "%7.2f ms" (float_of_int ns /. 1e6)
+  else if ns >= 1_000 then
+    Format.fprintf ppf "%7.2f us" (float_of_int ns /. 1e3)
+  else Format.fprintf ppf "%7d ns" ns
+
+let profile ppf (s : Obs.snapshot) =
+  Format.fprintf ppf "Profile (wall-clock spans, outside the DES)@.";
+  Format.fprintf ppf "  %-26s %10s %11s %10s %10s@." "span" "calls"
+    "total" "p50" "p99";
+  List.iter
+    (fun (d : Obs.dist) ->
+      Format.fprintf ppf "  %-26s %10d %a %a %a@." d.Obs.dist_name
+        d.Obs.dist_count pp_ns d.Obs.dist_total pp_ns
+        (Obs.percentile d 0.5) pp_ns
+        (Obs.percentile d 0.99))
+    (List.sort
+       (fun (a : Obs.dist) b -> compare b.Obs.dist_total a.Obs.dist_total)
+       s.Obs.spans);
+  List.iter
+    (fun (d : Obs.dist) ->
+      Format.fprintf ppf
+        "  histogram %-20s count %d sum %d p50 %d p99 %d@." d.Obs.dist_name
+        d.Obs.dist_count d.Obs.dist_total (Obs.percentile d 0.5)
+        (Obs.percentile d 0.99))
+    s.Obs.hists;
+  List.iter
+    (fun (w : Obs.worker) ->
+      Format.fprintf ppf
+        "  worker domain %d: %d cells, %.2f s busy, GC %d minor / %d \
+         major, %.1fM minor words, %.1fM promoted@."
+        w.Obs.w_domain w.Obs.w_cells
+        (float_of_int w.Obs.w_busy_ns /. 1e9)
+        w.Obs.w_minor_collections w.Obs.w_major_collections
+        (float_of_int w.Obs.w_minor_words /. 1e6)
+        (float_of_int w.Obs.w_promoted_words /. 1e6))
+    s.Obs.workers;
+  if s.Obs.counters <> [] then begin
+    Format.fprintf ppf "  counters:";
+    List.iter
+      (fun (k, v) -> Format.fprintf ppf " %s=%d" k v)
+      s.Obs.counters;
+    Format.fprintf ppf "@."
+  end
+
 let run_json config (r : Metrics.result) =
   let module J = Trace.Json in
   J.Obj

@@ -46,3 +46,21 @@ val run_json : Config.t -> Metrics.result -> Trace.Json.t
 (** Whole-campaign export, [manet-sim/campaign-v1]: scenario, protocol and
     pause axes, and per-cell metric summaries (mean / 95% CI / count). *)
 val campaign_json : Experiment.t -> Trace.Json.t
+
+(** {1 [--prof] rendering}
+
+    The profile is appended by the CLI layer, never by {!campaign_json} /
+    {!run_json} themselves, so unprofiled envelopes stay byte-identical to
+    pre-observability builds. *)
+
+(** Machine-readable profile: spans and histograms with count / total /
+    p50 / p99, counter totals, and the per-worker-domain cell/GC ledger. *)
+val profile_json : Obs.snapshot -> Trace.Json.t
+
+(** [add_profile json snapshot] appends a ["perf_profile"] member to a
+    JSON object envelope (returns non-objects unchanged). *)
+val add_profile : Trace.Json.t -> Obs.snapshot -> Trace.Json.t
+
+(** Human [Profile] section: spans sorted by total time, then worker-domain
+    GC lines and counter totals. *)
+val profile : Format.formatter -> Obs.snapshot -> unit

@@ -56,13 +56,27 @@ let run_custom_detailed ?(on_faults = fun (_ : Faults.Injector.t) -> ())
     | Some a -> a
     | None -> invalid_arg "Runner: agent not wired"
   in
+  (* --prof: time spent in this protocol's frame handler (control
+     processing and data forwarding both enter through [receive]) *)
+  let span_receive =
+    Obs.span
+      ("proto."
+      ^ String.lowercase_ascii (Config.protocol_name config.protocol)
+      ^ ".receive")
+  in
   let macs =
     Array.init config.nodes (fun i ->
         Wireless.Mac80211.create ~trace engine config.radio channel ~id:i
           ~rng:(Des.Rng.split root (Printf.sprintf "mac-%d" i))
           {
             Wireless.Mac80211.on_receive =
-              (fun ~src frame -> (agent i).Protocols.Routing_intf.receive ~src frame);
+              (fun ~src frame ->
+                if Obs.enabled () then begin
+                  Obs.start span_receive;
+                  (agent i).Protocols.Routing_intf.receive ~src frame;
+                  Obs.stop span_receive
+                end
+                else (agent i).Protocols.Routing_intf.receive ~src frame);
             on_unicast_success =
               (fun ~frame ~dst ->
                 (agent i).Protocols.Routing_intf.unicast_ok ~frame ~dst);

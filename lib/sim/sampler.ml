@@ -1,3 +1,5 @@
+let span_sample = Obs.span "event.sample"
+
 let start engine ~trace ~every ~gauges ~mac_queue =
   if Trace.enabled trace && every > 0.0 then begin
     let prev_executed = ref (Des.Engine.executed engine) in
@@ -15,10 +17,16 @@ let start engine ~trace ~every ~gauges ~mac_queue =
         float_of_int (executed - !prev_executed) /. every
       in
       prev_executed := executed;
+      (* supervisor activity: process-wide running totals, so a traced
+         cell inside a supervised campaign shows recovery work as it
+         happens (zeros on a plain run) *)
       Trace.gauge trace ~routes ~pending ~mac_queue:(mac_queue ())
         ~live_events:(Des.Engine.pending engine)
-        ~executed ~events_per_sec;
-      ignore (Des.Engine.schedule engine ~delay:every tick)
+        ~executed ~events_per_sec
+        ~retries:(Supervisor.retries_total ())
+        ~quarantined:(Supervisor.quarantined_total ())
+        ~journal_lines:(Trace.Journal.lines_flushed ());
+      ignore (Des.Engine.schedule ~span:span_sample engine ~delay:every tick)
     in
-    ignore (Des.Engine.schedule engine ~delay:every tick)
+    ignore (Des.Engine.schedule ~span:span_sample engine ~delay:every tick)
   end

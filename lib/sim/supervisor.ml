@@ -29,6 +29,12 @@ type failure = {
   backtrace : string;
 }
 
+(* recovery activity, exposed live through {!Sim.Sampler}'s gauges *)
+let retries_counter = Obs.counter "supervisor.retries"
+let quarantined_counter = Obs.counter "supervisor.quarantined"
+let retries_total () = Obs.counter_value retries_counter
+let quarantined_total () = Obs.counter_value quarantined_counter
+
 let failure_to_json f =
   let module J = Trace.Json in
   J.Obj
@@ -59,12 +65,15 @@ let supervised ~policy ~run item =
              resource blip gets room to clear, and reports stay stable *)
           if policy.backoff > 0.0 then
             Unix.sleepf (policy.backoff *. (2. ** float_of_int (attempt - 1)));
+          Obs.incr retries_counter;
           go (attempt + 1)
         end
-        else
+        else begin
+          Obs.incr quarantined_counter;
           Error
             { attempts = attempt; timed_out; error = Printexc.to_string e;
               backtrace }
+        end
   in
   go 1
 

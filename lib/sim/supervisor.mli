@@ -56,6 +56,13 @@ type failure = {
 
 val failure_to_json : failure -> Trace.Json.t
 
+(** Recovery activity of this process so far, summed across domains (and,
+    in one process, across campaigns): retries attempted and cells
+    quarantined. Feed the live supervisor gauges. *)
+val retries_total : unit -> int
+
+val quarantined_total : unit -> int
+
 (** [map ~jobs ~policy ~name ~run items] farms [items] over [jobs] domains
     ({!Pool.map}, order-preserving). Each item is attempted up to
     [1 + policy.retries] times through [run ~attempt ~deadline item]

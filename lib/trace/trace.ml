@@ -27,6 +27,10 @@ type ev =
       live_events : int;
       executed : int;
       events_per_sec : float;
+      (* supervisor activity, campaign-wide running totals *)
+      retries : int;
+      quarantined : int;
+      journal_lines : int;
     }
 
 type record = { time : float; node : int; ev : ev }
@@ -115,13 +119,17 @@ let ev_fields = function
   | Fault { kind; a; b } ->
       ("fault", [ ("kind", Json.String kind); ("a", Json.Int a);
                   ("b", Json.Int b) ])
-  | Gauge { routes; pending; mac_queue; live_events; executed; events_per_sec }
-    ->
+  | Gauge
+      { routes; pending; mac_queue; live_events; executed; events_per_sec;
+        retries; quarantined; journal_lines } ->
       ("gauge", [ ("routes", Json.Int routes); ("pending", Json.Int pending);
                   ("mac_queue", Json.Int mac_queue);
                   ("live_events", Json.Int live_events);
                   ("executed", Json.Int executed);
-                  ("events_per_sec", Json.Float events_per_sec) ])
+                  ("events_per_sec", Json.Float events_per_sec);
+                  ("retries", Json.Int retries);
+                  ("quarantined", Json.Int quarantined);
+                  ("journal_lines", Json.Int journal_lines) ])
 
 let record_to_json { time; node; ev } =
   let name, fields = ev_fields ev in
@@ -131,7 +139,11 @@ let record_to_json { time; node; ev } =
     :: ("ev", Json.String name)
     :: fields)
 
-let push sink r =
+(* --prof: time spent writing trace records, and JSONL record sizes *)
+let span_sink = Obs.span "trace.sink"
+let jsonl_record_bytes = Obs.histogram "trace.jsonl_record_bytes"
+
+let push_body sink r =
   match sink with
   | Null -> ()
   | Ring ring ->
@@ -145,8 +157,17 @@ let push sink r =
       Buffer.clear scratch;
       Json.to_buffer scratch (record_to_json r);
       Buffer.add_char scratch '\n';
+      Obs.observe jsonl_record_bytes (Buffer.length scratch);
       Buffer.output_buffer oc scratch
   | Callback f -> f r
+
+let push sink r =
+  if Obs.enabled () then begin
+    Obs.start span_sink;
+    push_body sink r;
+    Obs.stop span_sink
+  end
+  else push_body sink r
 
 let emit t ~node ev = push t.sink { time = t.clock (); node; ev }
 
@@ -239,9 +260,12 @@ let mac_queue_drop t ~node =
 let fault t ~kind ~a ~b =
   match t.sink with Null -> () | _ -> emit t ~node:(-1) (Fault { kind; a; b })
 
-let gauge t ~routes ~pending ~mac_queue ~live_events ~executed ~events_per_sec =
+let gauge t ~routes ~pending ~mac_queue ~live_events ~executed ~events_per_sec
+    ~retries ~quarantined ~journal_lines =
   match t.sink with
   | Null -> ()
   | _ ->
       emit t ~node:(-1)
-        (Gauge { routes; pending; mac_queue; live_events; executed; events_per_sec })
+        (Gauge
+           { routes; pending; mac_queue; live_events; executed;
+             events_per_sec; retries; quarantined; journal_lines })

@@ -48,6 +48,9 @@ type ev =
       live_events : int;
       executed : int;
       events_per_sec : float;
+      retries : int;  (** supervisor retries so far, campaign-wide *)
+      quarantined : int;  (** cells quarantined so far, campaign-wide *)
+      journal_lines : int;  (** checkpoint journal lines flushed so far *)
     }  (** periodic whole-network sample (node is -1) *)
 
 type record = { time : float; node : int; ev : ev }
@@ -123,4 +126,7 @@ val gauge :
   live_events:int ->
   executed:int ->
   events_per_sec:float ->
+  retries:int ->
+  quarantined:int ->
+  journal_lines:int ->
   unit

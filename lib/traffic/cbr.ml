@@ -1,3 +1,5 @@
+let span_traffic = Obs.span "event.traffic"
+
 type flow = { id : int; src : int; dst : int; start : float; stop : float }
 
 let generate ~rng ~nodes ~concurrent ~from_time ~until ~mean_duration =
@@ -45,7 +47,7 @@ let schedule engine ~flows ~rate ~size ~send =
           incr seq;
           let packet_seq = !seq in
           ignore
-            (Des.Engine.schedule_at engine ~time (fun () ->
+            (Des.Engine.schedule_at ~span:span_traffic engine ~time (fun () ->
                  let data =
                    {
                      Wireless.Frame.origin = f.src;

@@ -36,7 +36,13 @@ type 'a t = {
      search per call *)
   pos_at : float array;
   pos_v : Vec2.t array;
+  (* --prof span for the synchronous transmit sweep, named for the
+     neighbour-scan strategy so profiles separate grid from naive *)
+  span_transmit : Obs.span;
 }
+
+(* rx-end delivery events, distinct from the synchronous sweep above *)
+let span_rx = Obs.span "event.channel.rx"
 
 let create ?(trace = Trace.null) ?grid engine ~nodes ~position ~range ~cs_range =
   if cs_range < range then invalid_arg "Channel.create: cs_range < range";
@@ -66,6 +72,10 @@ let create ?(trace = Trace.null) ?grid engine ~nodes ~position ~range ~cs_range 
     grid;
     pos_at = Array.make (Stdlib.max nodes 1) nan;
     pos_v = Array.make (Stdlib.max nodes 1) Vec2.zero;
+    span_transmit =
+      Obs.span
+        (if Option.is_some grid then "channel.transmit.grid"
+         else "channel.transmit.naive");
   }
 
 let set_receiver t i f = t.receivers.(i) <- Some f
@@ -173,7 +183,7 @@ let clash t j ~rx_a ~rx_b =
 let interfere t j rx ~interferer_dist =
   if rx.dist *. t.capture_ratio > interferer_dist then corrupt t j rx
 
-let transmit t ~src ~duration pdu =
+let transmit_body t ~src ~duration pdu =
   let time = now t in
   let tx_end = time +. duration in
   prune t;
@@ -209,7 +219,8 @@ let transmit t ~src ~duration pdu =
             t.air;
           t.rx_active.(j) <- rx :: t.rx_active.(j);
           ignore
-            (Des.Engine.schedule t.engine ~delay:duration (fun () ->
+            (Des.Engine.schedule ~span:span_rx t.engine ~delay:duration
+               (fun () ->
                  t.rx_active.(j) <-
                    List.filter (fun r -> r != rx) t.rx_active.(j);
                  if
@@ -240,6 +251,14 @@ let transmit t ~src ~duration pdu =
         touch j
       done
   | Some g -> Grid.iter g ~now:time ~center:pos_src ~radius:t.cs_range touch
+
+let transmit t ~src ~duration pdu =
+  if Obs.enabled () then begin
+    Obs.start t.span_transmit;
+    transmit_body t ~src ~duration pdu;
+    Obs.stop t.span_transmit
+  end
+  else transmit_body t ~src ~duration pdu
 
 let collisions t = t.collision_count
 

@@ -50,7 +50,9 @@ let bucket t x y =
   let by = int_of_float ((y -. t.oy) /. t.cell) in
   (by * t.cols) + bx
 
-let rebuild t ~now =
+let span_rebuild = Obs.span "channel.grid.rebuild"
+
+let rebuild_body t ~now =
   if t.nodes > 0 then begin
     let minx = ref infinity and miny = ref infinity in
     let maxx = ref neg_infinity and maxy = ref neg_infinity in
@@ -86,6 +88,14 @@ let rebuild t ~now =
   end;
   t.built_at <- now;
   t.rebuild_count <- t.rebuild_count + 1
+
+let rebuild t ~now =
+  if Obs.enabled () then begin
+    Obs.start span_rebuild;
+    rebuild_body t ~now;
+    Obs.stop span_rebuild
+  end
+  else rebuild_body t ~now
 
 let ensure t ~now =
   if Float.is_nan t.built_at || now < t.built_at || now -. t.built_at > t.epoch

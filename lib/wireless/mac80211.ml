@@ -1,3 +1,9 @@
+(* --prof event-kind spans for the MAC's scheduled callbacks *)
+let span_backoff = Obs.span "event.mac.backoff"
+let span_timeout = Obs.span "event.mac.timeout"
+let span_tx = Obs.span "event.mac.tx"
+let span_sifs = Obs.span "event.mac.sifs"
+
 type pdu =
   | Mac_rts of { seq : int; to_ : int; nav : float }
   | Mac_cts of { seq : int; to_ : int; nav : float }
@@ -132,7 +138,8 @@ let rec start_contention t =
 and arm_contention t =
   Trace.mac_backoff t.trace ~node:t.id ~cw:t.cw;
   let handle =
-    Des.Engine.schedule t.engine ~delay:(backoff_delay t) (fun () ->
+    Des.Engine.schedule ~span:span_backoff t.engine ~delay:(backoff_delay t)
+      (fun () ->
         t.state <- Idle;
         attempt t)
   in
@@ -150,7 +157,7 @@ and attempt t =
            idle boundary, like DCF's frozen backoff counters *)
         let delay = idle_at -. now t +. backoff_delay t in
         let handle =
-          Des.Engine.schedule t.engine ~delay (fun () ->
+          Des.Engine.schedule ~span:span_backoff t.engine ~delay (fun () ->
               t.state <- Idle;
               attempt t)
         in
@@ -178,8 +185,8 @@ and send_rts t entry =
         +. (2.0 *. r.Radio.slot)
       in
       let handle =
-        Des.Engine.schedule t.engine ~delay:timeout (fun () ->
-            retry t entry dst)
+        Des.Engine.schedule ~span:span_timeout t.engine ~delay:timeout
+          (fun () -> retry t entry dst)
       in
       t.state <- Awaiting_cts handle
 
@@ -194,7 +201,8 @@ and transmit_frame t entry =
   | Frame.Broadcast ->
       t.state <- Transmitting;
       ignore
-        (Des.Engine.schedule t.engine ~delay:duration (fun () ->
+        (Des.Engine.schedule ~span:span_tx t.engine ~delay:duration
+           (fun () ->
              t.state <- Idle;
              t.current <- None;
              start_contention t))
@@ -205,8 +213,8 @@ and transmit_frame t entry =
         +. (2.0 *. t.radio.Radio.slot)
       in
       let handle =
-        Des.Engine.schedule t.engine ~delay:timeout (fun () ->
-            retry t entry dst)
+        Des.Engine.schedule ~span:span_timeout t.engine ~delay:timeout
+          (fun () -> retry t entry dst)
       in
       t.state <- Awaiting_ack handle
 
@@ -231,7 +239,8 @@ and retry t entry dst =
 
 let send_ack t ~to_ ~seq =
   ignore
-    (Des.Engine.schedule t.engine ~delay:t.radio.Radio.sifs (fun () ->
+    (Des.Engine.schedule ~span:span_sifs t.engine ~delay:t.radio.Radio.sifs
+       (fun () ->
          t.tx_ack <- t.tx_ack + 1;
          Channel.transmit t.channel ~src:t.id
            ~duration:(Radio.ack_duration t.radio)
@@ -239,7 +248,8 @@ let send_ack t ~to_ ~seq =
 
 let send_cts t ~to_ ~seq ~nav =
   ignore
-    (Des.Engine.schedule t.engine ~delay:t.radio.Radio.sifs (fun () ->
+    (Des.Engine.schedule ~span:span_sifs t.engine ~delay:t.radio.Radio.sifs
+       (fun () ->
          Channel.transmit t.channel ~src:t.id
            ~duration:(Radio.cts_duration t.radio)
            (Mac_cts { seq; to_; nav })))
@@ -283,8 +293,8 @@ let handle_pdu t ~src pdu =
             Des.Engine.cancel handle;
             (* data follows one SIFS after the CTS *)
             ignore
-              (Des.Engine.schedule t.engine ~delay:t.radio.Radio.sifs
-                 (fun () -> transmit_frame t entry));
+              (Des.Engine.schedule ~span:span_sifs t.engine
+                 ~delay:t.radio.Radio.sifs (fun () -> transmit_frame t entry));
             t.state <- Transmitting
         | _ -> ()
       end

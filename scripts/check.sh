@@ -91,4 +91,35 @@ if "$SIM" campaign --nodes 20 --duration 10 --trials 1 --flows 3 --quiet \
   exit 1
 fi
 
+# observability smoke: --prof must append a perf_profile member with the
+# expected hot-path span names, and the Prometheus export must be
+# well-formed (one # TYPE per family, no duplicate sample series)
+"$SIM" run --nodes 20 --duration 30 --prof --json "$tmp/run_prof.json" \
+  --prof-out "$tmp/run_prof.prom" > "$tmp/run_prof.txt" 2> /dev/null
+"$SIM" trace "$tmp/run_prof.json" --validate --require perf_profile
+grep -q '"name":"channel.transmit.grid"' "$tmp/run_prof.json"
+grep -q '"name":"event.mac.backoff"' "$tmp/run_prof.json"
+grep -q '"name":"proto.srp.receive"' "$tmp/run_prof.json"
+grep -q "Profile (wall-clock spans" "$tmp/run_prof.txt"
+awk '/^# TYPE /{if (seen[$3]++) {print "duplicate TYPE: " $3; exit 1}}' \
+  "$tmp/run_prof.prom"
+awk '!/^#/ && NF { if (seen[$1]++) { print "duplicate sample: " $1; exit 1 } }' \
+  "$tmp/run_prof.prom"
+grep -q '^# TYPE manet_span_seconds_total counter$' "$tmp/run_prof.prom"
+
+# ... a profiled campaign must carry the profile too (plus worker ledger),
+# while the unprofiled JSON above stays the determinism reference
+"$SIM" campaign --nodes 20 --duration 10 --trials 1 --flows 3 --quiet \
+  -j 2 --prof --json "$tmp/campaign_prof.json" > /dev/null 2> /dev/null
+"$SIM" trace "$tmp/campaign_prof.json" --validate --require perf_profile
+grep -q '"workers"' "$tmp/campaign_prof.json"
+
+# ... and bench --prof must extend the perf member with workers + gc while
+# keeping the gate-readable shape
+dune exec bench/main.exe -- campaign --trials 1 --duration 10 --flows 3 \
+  --quiet -j 2 --prof --out "$tmp/bench_prof.json" > /dev/null 2> /dev/null
+"$SIM" trace "$tmp/bench_prof.json" --validate --require perf_profile
+grep -q '"workers"' "$tmp/bench_prof.json"
+grep -q '"gc"' "$tmp/bench_prof.json"
+
 echo "check.sh: all green"

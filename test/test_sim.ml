@@ -294,7 +294,22 @@ let test_campaign_parallel_equivalence () =
     (Format.asprintf "%a" Sim.Report.all par);
   Alcotest.(check string) "campaign JSON bytes identical"
     (Trace.Json.to_string (Sim.Report.campaign_json seq))
-    (Trace.Json.to_string (Sim.Report.campaign_json par))
+    (Trace.Json.to_string (Sim.Report.campaign_json par));
+  (* Profiling is wall-clock side-state: even with spans enabled, the
+     campaign envelope itself must not change by a byte (the profile is
+     appended by the CLI layer, never by campaign_json). *)
+  let profiled =
+    Fun.protect
+      ~finally:(fun () ->
+        Obs.disable ();
+        Obs.reset ())
+      (fun () ->
+        Obs.enable ();
+        campaign 4)
+  in
+  Alcotest.(check string) "profiled campaign JSON bytes identical"
+    (Trace.Json.to_string (Sim.Report.campaign_json seq))
+    (Trace.Json.to_string (Sim.Report.campaign_json profiled))
 
 (* ------------------------------------------------------------------ *)
 (* Supervisor: crash isolation, retry/backoff, timeout, fail-fast *)
