@@ -15,6 +15,8 @@ type t = {
   fail_fast : bool;
   prof : bool;
   prof_out : string option;
+  labels : Slr.Label_set.id;
+  labels_out : string;
 }
 
 let default =
@@ -35,18 +37,20 @@ let default =
     fail_fast = false;
     prof = false;
     prof_out = None;
+    labels = Slr.Label_set.default;
+    labels_out = "BENCH_labels.json";
   }
 
 let known_sections =
   [ "table1"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "campaign"; "micro";
-    "ablation"; "all" ]
+    "ablation"; "labels"; "all" ]
 
 let usage =
   "usage: main.exe [SECTION ...] [--trials N] [--duration S] [--flows N]\n\
   \       [--full] [--quiet] [-j N | --jobs N] [--out PATH]\n\
   \       [--check-regression PATH] [--compare-sequential]\n\
   \       [--resume PATH] [--cell-timeout S] [--retries N] [--fail-fast]\n\
-  \       [--prof] [--prof-out PATH]\n\
+  \       [--prof] [--prof-out PATH] [--labels SET] [--labels-out PATH]\n\
    sections: " ^ String.concat " " known_sections ^ " (default: all)\n\
    -j N farms campaign cells over N domains; results are byte-identical\n\
    whatever N is. --check-regression compares fresh throughput against the\n\
@@ -56,7 +60,11 @@ let usage =
    supervision policy (crashed or wedged cells retry, then quarantine).\n\
    --prof appends a perf_profile member (hot-path spans, per-domain GC) to\n\
    the campaign JSON and prints a Profile section; --prof-out also writes\n\
-   the profile as Prometheus text (implies --prof)."
+   the profile as Prometheus text (implies --prof).\n\
+   --labels SET runs the campaign sections with SRP minting labels from the\n\
+   given dense set (mediant|farey|bigfrac|lex; default mediant); the labels\n\
+   section sweeps all four instances on long-horizon SRP runs and writes\n\
+   the comparison to --labels-out (default BENCH_labels.json)."
 
 let ( let* ) = Result.bind
 
@@ -80,7 +88,7 @@ let parse args =
       when List.mem flag
              [ "--trials"; "--duration"; "--flows"; "--jobs"; "-j";
                "--check-regression"; "--out"; "--resume"; "--cell-timeout";
-               "--retries"; "--prof-out" ] ->
+               "--retries"; "--prof-out"; "--labels"; "--labels-out" ] ->
         Error (flag ^ ": missing argument")
     | "--trials" :: v :: rest ->
         let* trials = int_arg "--trials" v in
@@ -112,6 +120,14 @@ let parse args =
     | "--prof" :: rest -> go { acc with prof = true } sections rest
     | "--prof-out" :: v :: rest ->
         go { acc with prof = true; prof_out = Some v } sections rest
+    | "--labels" :: v :: rest -> (
+        match Slr.Label_set.of_name v with
+        | Some labels -> go { acc with labels } sections rest
+        | None ->
+            Error
+              (Printf.sprintf
+                 "--labels: unknown label set %S (mediant|farey|bigfrac|lex)" v))
+    | "--labels-out" :: v :: rest -> go { acc with labels_out = v } sections rest
     | "--compare-sequential" :: rest ->
         go { acc with compare_sequential = true } sections rest
     | "--full" :: rest -> go { acc with full = true } sections rest

@@ -32,6 +32,12 @@ type t = {
   prof_out : string option;
       (** [--prof-out PATH]: also export the profile as Prometheus text
           (implies [prof]) *)
+  labels : Slr.Label_set.id;
+      (** [--labels SET]: the dense label set SRP mints from during the
+          campaign sections (default mediant, the paper's construction) *)
+  labels_out : string;
+      (** [--labels-out PATH]: where the [labels] section writes its
+          four-instance comparison JSON *)
 }
 
 val default : t

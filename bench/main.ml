@@ -22,13 +22,16 @@ let wants_campaign opts =
 (* The simulation campaign shared by Table I and Figs. 3-7 *)
 
 let base_config opts =
-  if opts.Bench_cli.full then { Sim.Config.paper with seed = 1 }
-  else
-    { Sim.Config.reproduction with
-      duration = opts.Bench_cli.duration;
-      flows = opts.Bench_cli.flows;
-      seed = 1;
-    }
+  let base =
+    if opts.Bench_cli.full then { Sim.Config.paper with seed = 1 }
+    else
+      { Sim.Config.reproduction with
+        duration = opts.Bench_cli.duration;
+        flows = opts.Bench_cli.flows;
+        seed = 1;
+      }
+  in
+  Sim.Config.with_labels base opts.Bench_cli.labels
 
 (* The checkpoint (--resume) only arms on the measured pass: the sequential
    reference pass of --compare-sequential must re-run every cell or its
@@ -336,12 +339,116 @@ let ablation_srp_knobs opts =
   run "probe_on_n=true" { d with Protocols.Srp.probe_on_n = true };
   run "no ordering lie" { d with Protocols.Srp.lie_k = 1 };
   (* §VI future work, implemented: minimal-denominator label splits *)
-  let farey = { d with Protocols.Srp.farey_splits = true } in
+  let farey = { d with Protocols.Srp.labels = Slr.Label_set.Farey } in
   let r_mediant = Sim.Runner.run { base with Sim.Config.srp = d } in
   let r_farey = Sim.Runner.run { base with Sim.Config.srp = farey } in
   Format.printf
     "label growth in-protocol: mediant max denominator %d vs Farey %d@."
     r_mediant.Sim.Metrics.max_denominator r_farey.Sim.Metrics.max_denominator
+
+(* ------------------------------------------------------------------ *)
+(* Label-set showdown (E9): the four dense-set instances on identical
+   constant-mobility SRP scenarios (pause 0 maximises label minting).
+   Width growth, label-driven resets — and when the first one lands — are
+   exactly where the instances differ, so they ride next to the standard
+   delivery/load/latency triple in the JSON written to --labels-out. *)
+
+let labels_showdown opts =
+  Format.printf "@.=== label-set showdown: SRP at pause 0 (E9) ===@.";
+  let base =
+    { (base_config opts) with Sim.Config.protocol = Sim.Config.Srp; pause = 0.0 }
+  in
+  let trials = max 1 opts.Bench_cli.trials in
+  Format.printf "%d trial%s x %.0f s per instance@." trials
+    (if trials = 1 then "" else "s")
+    base.Sim.Config.duration;
+  let run_instance ?max_denom id =
+    let splits = ref 0 and resets = ref 0 in
+    let first_reset = ref infinity in
+    let delivery = ref 0.0 and load = ref 0.0 and latency = ref 0.0 in
+    let width = ref 0 and max_den = ref 0 and label_resets = ref 0 in
+    for k = 0 to trials - 1 do
+      let srp =
+        match max_denom with
+        | None -> base.Sim.Config.srp
+        | Some max_denom -> { base.Sim.Config.srp with Protocols.Srp.max_denom }
+      in
+      let config =
+        Sim.Config.with_labels
+          { base with Sim.Config.seed = base.Sim.Config.seed + k; srp }
+          id
+      in
+      let trace =
+        Trace.callback
+          ~clock:(fun () -> 0.0)
+          (fun r ->
+            match r.Trace.ev with
+            | Trace.Label_split _ -> incr splits
+            | Trace.Seqno_reset _ ->
+                incr resets;
+                if r.Trace.time < !first_reset then first_reset := r.Trace.time
+            | _ -> ())
+      in
+      let r = Sim.Runner.run ~trace config in
+      delivery := !delivery +. r.Sim.Metrics.delivery_ratio;
+      load := !load +. r.Sim.Metrics.network_load;
+      latency := !latency +. r.Sim.Metrics.latency;
+      width := Stdlib.max !width r.Sim.Metrics.label_width_bits;
+      max_den := Stdlib.max !max_den r.Sim.Metrics.max_denominator;
+      label_resets := !label_resets + r.Sim.Metrics.label_resets
+    done;
+    let n = float_of_int trials in
+    Format.printf
+      "%-8s delivery %5.3f  load %7.3f  latency %6.3f  width %3d bits  \
+       splits %5d  resets %3d  first reset %s@."
+      (Slr.Label_set.name id) (!delivery /. n) (!load /. n) (!latency /. n)
+      !width !splits !label_resets
+      (if !first_reset = infinity then "never"
+       else Printf.sprintf "%.1f s" !first_reset);
+    J.Obj
+      [
+        ("labels", J.String (Slr.Label_set.name id));
+        ("trials", J.Int trials);
+        ("delivery", J.Float (!delivery /. n));
+        ("network_load", J.Float (!load /. n));
+        ("latency", J.Float (!latency /. n));
+        ("max_denominator", J.Int !max_den);
+        ("label_width_bits", J.Int !width);
+        ("label_splits", J.Int !splits);
+        ("label_resets", J.Int !label_resets);
+        ("seqno_resets", J.Int !resets);
+        ( "time_to_first_reset_s",
+          if !first_reset = infinity then J.Null else J.Float !first_reset );
+      ]
+  in
+  let instances = List.map run_instance Slr.Label_set.all in
+  (* Reset dynamics need MAX_DENOM within reach: at the paper's 1e9 none of
+     the instances exhausts in a reduced-scale horizon. A tight threshold
+     makes the bounded instances pay their D-bit probe resets while the
+     unbounded ones (which ignore the threshold) stay clean. *)
+  let tight = 1_000 in
+  Format.printf "-- with MAX_DENOM tightened to %d --@." tight;
+  let instances_tight =
+    List.map (run_instance ~max_denom:tight) Slr.Label_set.all
+  in
+  let json =
+    J.Obj
+      [
+        ("nodes", J.Int base.Sim.Config.nodes);
+        ("duration", J.Float base.Sim.Config.duration);
+        ("flows", J.Int base.Sim.Config.flows);
+        ("pause", J.Float base.Sim.Config.pause);
+        ("trials", J.Int trials);
+        ("instances", J.List instances);
+        ("tight_max_denom", J.Int tight);
+        ("instances_tight_max_denom", J.List instances_tight);
+      ]
+  in
+  let oc = open_out opts.Bench_cli.labels_out in
+  output_string oc (J.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "label-set comparison written to %s@." opts.Bench_cli.labels_out
 
 (* ------------------------------------------------------------------ *)
 
@@ -434,4 +541,5 @@ let () =
     ablation_farey ();
     ablation_srp_knobs opts
   end;
+  if wants opts "labels" then labels_showdown opts;
   Format.printf "@.total wall time: %.1f s@." (Unix.gettimeofday () -. t0)

@@ -16,6 +16,31 @@ let protocol_conv =
   let print ppf p = Format.pp_print_string ppf (Sim.Config.protocol_name p) in
   Arg.conv (parse, print)
 
+let labels_conv =
+  let parse s =
+    match Slr.Label_set.of_name s with
+    | Some id -> Ok id
+    | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown label set %S (mediant|farey|bigfrac|lex)"
+                s))
+  in
+  let print ppf id = Format.pp_print_string ppf (Slr.Label_set.name id) in
+  Arg.conv (parse, print)
+
+let labels_term =
+  Arg.(
+    value
+    & opt labels_conv Slr.Label_set.default
+    & info [ "labels" ] ~docv:"SET"
+        ~doc:
+          "Dense label set SRP mints feasible distances from: $(b,mediant) \
+           (the paper's bounded 32-bit fractions, default), $(b,farey) \
+           (minimal-denominator splits), $(b,bigfrac) (unbounded fractions \
+           — wider labels, never resets), or $(b,lex) (lexicographic byte \
+           strings). Other protocols ignore it.")
+
 (* --faults switches the whole subsystem on; the knobs below tune it and
    are inert without it. Defaults mirror Faults.Spec.default. *)
 let faults_term =
@@ -114,17 +139,20 @@ let config_term =
       value & opt float 4.0
       & info [ "rate" ] ~doc:"Packets per second per flow.")
   and+ faults = faults_term
+  and+ labels = labels_term
   in
-  {
-    Sim.Config.reproduction with
-    nodes;
-    flows;
-    pause;
-    duration;
-    seed;
-    packet_rate;
-    faults;
-  }
+  Sim.Config.with_labels
+    {
+      Sim.Config.reproduction with
+      nodes;
+      flows;
+      pause;
+      duration;
+      seed;
+      packet_rate;
+      faults;
+    }
+    labels
 
 let jobs_term ~doc =
   Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N" ~doc)
@@ -627,6 +655,21 @@ let fuzz_cmd =
           "Run catalogue properties on $(docv) worker domains. Every case \
            draws from its own prop#case substream, so outcomes and reports \
            are identical to -j 1."
+    and+ labels =
+      Arg.(
+        value
+        & opt (some labels_conv) None
+        & info [ "labels" ] ~docv:"SET"
+            ~doc:
+              "Pin every simulation-level property to this label-set \
+               instance (mediant|farey|bigfrac|lex) instead of the default \
+               catalogue, which fuzzes the mediant set plus one \
+               model-agreement cell per other instance.")
+    in
+    let fuzz_catalogue =
+      match labels with
+      | None -> fuzz_catalogue
+      | Some id -> Check.Props.all @ Sim.Fuzz.props_for id
     in
     if list_props then
       List.iter
@@ -670,7 +713,10 @@ let fuzz_cmd =
   Cmd.v (Cmd.info "fuzz" ~doc) term
 
 let labels_cmd =
-  let doc = "Show SLR label arithmetic: mediants, splits, the 45-split bound." in
+  let doc =
+    "Show SLR label arithmetic: mediants, splits, the 45-split bound, and \
+     the registered label-set instances."
+  in
   let show () =
     let module F = Slr.Fraction in
     Format.printf "32-bit proper fractions: bound = %d@." F.bound;
@@ -680,11 +726,38 @@ let labels_cmd =
     (match F.mediant a b with
     | Some m -> Format.printf "mediant(%a, %a) = %a@." F.pp a F.pp b F.pp m
     | None -> ());
-    match Slr.Farey.simplest_between ~lo:a ~hi:b with
+    (match Slr.Farey.simplest_between ~lo:a ~hi:b with
     | Some s ->
         Format.printf "simplest fraction in (%a, %a) = %a (Farey)@." F.pp a
           F.pp b F.pp s
-    | None -> ()
+    | None -> ());
+    (* repeated splits toward the destination, per registered instance:
+       how fast each label set grows in width *)
+    Format.printf "@.registered label sets (--labels):@.";
+    List.iter
+      (fun id ->
+        let (module L : Slr.Label.S) = Slr.Label_set.instance id in
+        let rec walk lo hi k acc =
+          if k = 0 then List.rev acc
+          else
+            match L.split ~lo ~hi with
+            | None -> List.rev acc
+            | Some m -> walk lo m (k - 1) (m :: acc)
+        in
+        let splits = walk L.zero L.one 6 [] in
+        Format.printf "  %-8s %s@." (Slr.Label_set.name id)
+          (String.concat " > " (List.map L.encode splits));
+        match List.rev splits with
+        | [] -> ()
+        | last :: _ ->
+            let widest =
+              List.fold_left
+                (fun acc l -> Stdlib.max acc (L.width_bits l))
+                0 splits
+            in
+            Format.printf "           6 splits toward %s: max width %d bits@."
+              (L.encode last) widest)
+      Slr.Label_set.all
   in
   let term = Term.(const show $ const ()) in
   Cmd.v (Cmd.info "labels" ~doc) term

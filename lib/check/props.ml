@@ -205,12 +205,15 @@ let prop_bigfrac =
 (* Component-level re-statement of Definition 1 (Eqs. 3-5), written
    without Ordering.precedes so the oracle does not share code with the
    implementation it judges. "Below" = closer to the destination: a higher
-   sequence number, or the same number with a smaller fraction. *)
+   sequence number, or the same number with a smaller label. Label-set
+   generic: the theorem is about the ordering, not the concrete set. *)
 let below_eq g o =
-  g.O.sn > o.O.sn || (g.O.sn = o.O.sn && F.(g.O.frac <= o.O.frac))
+  g.O.sn > o.O.sn
+  || (g.O.sn = o.O.sn && Slr.Label.compare g.O.label o.O.label <= 0)
 
 let strictly_below g o =
-  g.O.sn > o.O.sn || (g.O.sn = o.O.sn && F.(g.O.frac < o.O.frac))
+  g.O.sn > o.O.sn
+  || (g.O.sn = o.O.sn && Slr.Label.compare g.O.label o.O.label < 0)
 
 let eqs_3_to_5 ~current ~cached ~adv g =
   below_eq g current && strictly_below g cached && strictly_below adv g
@@ -250,7 +253,7 @@ let prop_neworder_farey =
     (fun inputs ->
       let farey ~current ~cached ~adv =
         Slr.New_order.compute_with
-          ~split:(fun ~lo ~hi -> Slr.Farey.simplest_between ~lo ~hi)
+          ~labels:(module Slr.Label.Farey)
           ~current ~cached ~adv
       in
       match neworder_law ~compute:farey inputs with
@@ -268,10 +271,91 @@ let prop_neworder_farey =
           if
             is_split m.Slr.New_order.case
             && is_split f.Slr.New_order.case
-            && f.Slr.New_order.order.O.frac.F.den
-               > m.Slr.New_order.order.O.frac.F.den
+            && (O.frac f.Slr.New_order.order).F.den
+               > (O.frac m.Slr.New_order.order).F.den
           then Error "Farey split grew the denominator past the mediant"
           else Ok ())
+
+(* ------------------------------------------------------------------ *)
+(* Every label-set instance satisfies the identical NEWORDER theorem, on
+   labels minted by its own split operator (so each instance is exercised
+   on labels it can actually reach). *)
+
+let instance_label (module L : Slr.Label.S) =
+  let step (lo, hi) left =
+    if L.compare lo hi >= 0 then (lo, hi)
+    else
+      match L.split ~lo ~hi with
+      | None -> (lo, hi)
+      | Some m -> if left then (lo, m) else (m, hi)
+  in
+  Gen.frequency
+    [
+      (1, Gen.pure L.zero);
+      (1, Gen.pure L.one);
+      ( 8,
+        Gen.map2
+          (fun dirs keep_lo ->
+            let lo, hi = List.fold_left step (L.zero, L.one) dirs in
+            if keep_lo && L.compare L.zero lo < 0 then lo
+            else if L.compare hi L.one < 0 then hi
+            else lo)
+          (Gen.list_size (Gen.int_range 1 8) Gen.bool)
+          Gen.bool );
+    ]
+
+let instance_ordering inst =
+  Gen.map2
+    (fun sn label -> O.v ~sn ~label)
+    (Gen.int_range 0 4) (instance_label inst)
+
+let prop_neworder_instance (module L : Slr.Label.S) =
+  Runner.cell
+    ~name:("neworder-" ^ L.name)
+    ~print:triple_print
+    (ordering_triple (instance_ordering (module L : Slr.Label.S)))
+    (neworder_law ~compute:(fun ~current ~cached ~adv ->
+         Slr.New_order.compute_with
+           ~labels:(module L : Slr.Label.S)
+           ~current ~cached ~adv))
+
+let prop_neworder_bigfrac = prop_neworder_instance (module Slr.Label.Bigfrac_set)
+
+let prop_neworder_lex = prop_neworder_instance (module Slr.Label.Lex)
+
+(* Cross-instance agreement: away from the 32-bit bound both rational
+   instances mint with mediants (split and next-element alike), so on the
+   same inputs Mediant and Bigfrac must take the identical Algorithm 1
+   case and emit numerically equal labels. The unbounded instance thereby
+   vouches for the bounded one everywhere except the overflow regime. *)
+let prop_neworder_agreement =
+  Runner.cell ~name:"neworder-cross-instance" ~print:triple_print
+    (ordering_triple ordering)
+    (fun (current, cached, adv) ->
+      let m = Slr.New_order.compute ~current ~cached ~adv in
+      let b =
+        Slr.New_order.compute_with
+          ~labels:(module Slr.Label.Bigfrac_set)
+          ~current ~cached ~adv
+      in
+      if m.Slr.New_order.case <> b.Slr.New_order.case then
+        Error
+          (asprintf "cases diverge: mediant %a, bigfrac %a"
+             Slr.New_order.pp_case m.Slr.New_order.case
+             Slr.New_order.pp_case b.Slr.New_order.case)
+      else begin
+        let om = m.Slr.New_order.order and ob = b.Slr.New_order.order in
+        if om.O.sn <> ob.O.sn then
+          Error "sequence numbers diverge between instances"
+        else if
+          (not (O.is_unassigned om && O.is_unassigned ob))
+          && not (Slr.Label.equal om.O.label ob.O.label)
+        then
+          Error
+            (asprintf "labels diverge: mediant %a, bigfrac %a" O.pp om O.pp
+               ob)
+        else Ok ()
+      end)
 
 (* ------------------------------------------------------------------ *)
 (* Abstract SLR executor: loop freedom after every mutation *)
@@ -801,6 +885,9 @@ let all =
     prop_bigfrac;
     prop_neworder;
     prop_neworder_farey;
+    prop_neworder_bigfrac;
+    prop_neworder_lex;
+    prop_neworder_agreement;
     prop_abstract_bounded;
     prop_abstract_unbounded;
     prop_seen_cache;

@@ -1,5 +1,5 @@
 module Ordering = Slr.Ordering
-module Fraction = Slr.Fraction
+module Label = Slr.Label
 
 type snapshot = {
   node : int;
@@ -41,11 +41,12 @@ let edges_checked t = t.edges
 
 (* Eq. 3 between two finite orderings of one node: the sequence number is
    destination-controlled and only moves forward; at the same sequence
-   number the feasible-distance fraction never grows. *)
+   number the feasible-distance label never grows. Instance-generic — the
+   theorem is about the ordering, not the concrete label set. *)
 let monotonic ~prev ~next =
   prev.Ordering.sn < next.Ordering.sn
   || (prev.Ordering.sn = next.Ordering.sn
-     && Fraction.( <= ) next.Ordering.frac prev.Ordering.frac)
+     && Label.compare next.Ordering.label prev.Ordering.label <= 0)
 
 let check_edges snap =
   let rec go = function

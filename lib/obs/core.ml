@@ -201,6 +201,12 @@ let set_gauge g v =
     l.gauge_vals <- grow_ints l.gauge_vals g.gauge_id;
   l.gauge_vals.(g.gauge_id) <- v
 
+let raise_gauge g v =
+  let l = local () in
+  if g.gauge_id >= Array.length l.gauge_vals then
+    l.gauge_vals <- grow_ints l.gauge_vals g.gauge_id;
+  if v > l.gauge_vals.(g.gauge_id) then l.gauge_vals.(g.gauge_id) <- v
+
 let counter_value c =
   let ls = Mutex.protect registry_mutex (fun () -> !locals) in
   List.fold_left

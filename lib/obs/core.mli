@@ -50,6 +50,10 @@ val incr : counter -> unit
 val add : counter -> int -> unit
 val set_gauge : gauge -> int -> unit
 
+(** High-water update: set the gauge to [v] only when it exceeds the
+    domain-local current value. *)
+val raise_gauge : gauge -> int -> unit
+
 (** Sum of a counter across all domains. Racy while workers run (may lag
     by in-flight increments); exact once they have joined. *)
 val counter_value : counter -> int

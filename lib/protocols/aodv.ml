@@ -392,6 +392,8 @@ let gauges t =
     Routing_intf.own_seqno = t.self_seqno;
     max_denominator = 0;
     seqno_resets = 0;
+    label_width_bits = 0;
+    label_resets = 0;
     route_entries;
     pending_packets = Pending.total t.pending;
   }

@@ -30,6 +30,11 @@ type gauges = {
   own_seqno : int;
   max_denominator : int;
   seqno_resets : int;
+  label_width_bits : int;
+      (** high-water encoded label width (SRP; 0 elsewhere) *)
+  label_resets : int;
+      (** seqno resets forced by label exhaustion — the T-bit /
+          MAX_DENOM-probe subset of [seqno_resets] (SRP; 0 elsewhere) *)
   route_entries : int;
   pending_packets : int;
 }
@@ -51,6 +56,8 @@ let no_gauges =
     own_seqno = 0;
     max_denominator = 0;
     seqno_resets = 0;
+    label_width_bits = 0;
+    label_resets = 0;
     route_entries = 0;
     pending_packets = 0;
   }

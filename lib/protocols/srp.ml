@@ -1,6 +1,13 @@
 let span_timer = Obs.span "proto.srp.timer"
 
+(* Always-on label telemetry: the high-water encoded label width per
+   domain, and the count of seqno resets forced by label exhaustion. *)
+let gauge_width_bits = Obs.gauge "srp.label.width_bits.max"
+let counter_label_resets = Obs.counter "srp.label.resets"
+
 module Ordering = Slr.Ordering
+module Label = Slr.Label
+module Label_set = Slr.Label_set
 module Fraction = Slr.Fraction
 module New_order = Slr.New_order
 module Frame = Wireless.Frame
@@ -13,7 +20,7 @@ type config = {
   max_denom : int;
   min_reply_hops : int;
   lie_k : int;
-  farey_splits : bool;
+  labels : Label_set.id;
   probe_on_n : bool;
   pending_capacity : int;
   pending_ttl : float;
@@ -37,7 +44,7 @@ let default_config =
     max_denom = 1_000_000_000;
     min_reply_hops = 0;
     lie_k = 10_000;
-    farey_splits = false;
+    labels = Label_set.default;
     probe_on_n = false;
     pending_capacity = 64;
     pending_ttl = 30.0;
@@ -113,6 +120,8 @@ type engagement = {
 type t = {
   ctx : Routing_intf.ctx;
   config : config;
+  labels : (module Label.S);  (** resolved once from [config.labels] *)
+  infinite : Ordering.t;  (** this instance's unassigned sentinel *)
   routes : (int, route) Hashtbl.t;
   engagements : (int * int, engagement) Hashtbl.t;
   seen : Seen_cache.t;
@@ -123,6 +132,8 @@ type t = {
   mutable self_seqno : int;
   mutable next_rreq_id : int;
   mutable max_denom_seen : int;
+  mutable label_width_max : int;
+  mutable label_resets : int;
   mutable resets : int;
   mutable rack_retx : int;
   (* online-monitor hook: fired after every route-table mutation *)
@@ -137,7 +148,7 @@ let route_for t dst =
   | None ->
       let r =
         {
-          own = Ordering.unassigned;
+          own = t.infinite;
           own_keep_until = 0.0;
           succs = Hashtbl.create 4;
           precursors = Hashtbl.create 4;
@@ -150,16 +161,16 @@ let route_for t dst =
    the node may forget its label (Definition 3). *)
 let own_ordering t dst =
   if dst = t.ctx.Routing_intf.id then
-    Ordering.destination ~sn:t.self_seqno
+    Ordering.destination_of t.labels ~sn:t.self_seqno
   else begin
     match Hashtbl.find_opt t.routes dst with
-    | None -> Ordering.unassigned
+    | None -> t.infinite
     | Some r ->
         if
           Hashtbl.length r.succs = 0
           && now t > r.own_keep_until
           && not (Ordering.is_unassigned r.own)
-        then r.own <- Ordering.unassigned;
+        then r.own <- t.infinite;
         r.own
   end
 
@@ -210,23 +221,12 @@ let succ_ordering_list t dst =
   List.map (fun (b, s) -> (b, s.s_order)) (live_succs t dst)
 
 (* §V heuristic: understate the solicitation ordering so only strictly
-   better-ordered nodes reply. *)
+   better-ordered nodes reply. The perturbation is instance-specific. *)
 let lie_about t order =
-  let f = order.Ordering.frac in
-  if Fraction.is_one f || Fraction.is_zero f then order
-  else begin
-    let p = f.Fraction.num and q = f.Fraction.den in
-    let num, den =
-      if p > 1 then (p - 1, q - 1)
-      else begin
-        let k = t.config.lie_k in
-        if q * k - 1 <= Fraction.bound then ((p * k) - 1, (q * k) - 1)
-        else (p, q)
-      end
-    in
-    if num < 1 then order
-    else Ordering.make ~sn:order.Ordering.sn ~frac:(Fraction.make ~num ~den)
-  end
+  let (module L : Label.S) = t.labels in
+  let label = L.understate ~k:t.config.lie_k order.Ordering.label in
+  if label == order.Ordering.label then order
+  else Ordering.v ~sn:order.Ordering.sn ~label
 
 let control_frame t ~dst ~size ~payload =
   let kind =
@@ -319,7 +319,9 @@ let fresh_rreq_id t =
    RREQ source (itself at origination). *)
 let rreq_advertisement t ~src =
   if src = t.ctx.Routing_intf.id then
-    Some { ra_order = Ordering.destination ~sn:t.self_seqno; ra_dist = 0 }
+    Some
+      { ra_order = Ordering.destination_of t.labels ~sn:t.self_seqno;
+        ra_dist = 0 }
   else if has_active_route t ~dst:src then
     Some { ra_order = own_ordering t src; ra_dist = route_dist t src }
   else None
@@ -340,7 +342,7 @@ let broadcast_rreq t rreq ~jitter =
 let originate_rreq t ~dst ~ttl ~rr =
   let own = own_ordering t dst in
   let unassigned = not (Ordering.is_finite own) in
-  let order = if unassigned then Ordering.unassigned else lie_about t own in
+  let order = if unassigned then t.infinite else lie_about t own in
   let rreq =
     {
       rq_src = t.ctx.Routing_intf.id;
@@ -392,26 +394,32 @@ let set_route t ~dst ~via ~adv_order ~adv_dist ~cached ~lifetime =
   let current = own_ordering t dst in
   if not (New_order.feasible ~current ~adv:adv_order) then Rejected
   else begin
-    let split ~lo ~hi =
-      if t.config.farey_splits then Slr.Farey.simplest_between ~lo ~hi
-      else Fraction.mediant lo hi
+    let result =
+      New_order.compute_with ~labels:t.labels ~current ~cached ~adv:adv_order
     in
-    let result = New_order.compute_with ~split ~current ~cached ~adv:adv_order in
     if not (Ordering.is_finite result.New_order.order) then Rejected
     else begin
       let g = result.New_order.order in
       let r = route_for t dst in
       r.own <- g;
       retain_label t r;
-      if g.Ordering.frac.Fraction.den > t.max_denom_seen then
-        t.max_denom_seen <- g.Ordering.frac.Fraction.den;
+      (match Label.to_ints g.Ordering.label with
+      | Some (_, den) when den > t.max_denom_seen -> t.max_denom_seen <- den
+      | Some _ | None -> ());
+      let width = Label.width_bits g.Ordering.label in
+      if width > t.label_width_max then begin
+        t.label_width_max <- width;
+        Obs.raise_gauge gauge_width_bits width
+      end;
       let trace = t.ctx.Routing_intf.trace in
       let me = t.ctx.Routing_intf.id in
       Trace.route_add trace ~node:me ~dst ~via ~dist:(adv_dist + 1);
       (match result.New_order.case with
       | New_order.Fresher_split | New_order.Equal_split ->
-          Trace.label_split trace ~node:me ~dst ~sn:g.Ordering.sn
-            ~num:g.Ordering.frac.Fraction.num ~den:g.Ordering.frac.Fraction.den
+          if Trace.enabled trace then
+            Trace.label_split trace ~node:me ~dst ~sn:g.Ordering.sn
+              ~label:(Label.encode g.Ordering.label)
+              ~frac:(Label.to_ints g.Ordering.label)
       | New_order.Infinite | New_order.Fresher_next | New_order.Keep_current ->
           ());
       let entry =
@@ -506,6 +514,10 @@ let destination_reply t rreq ~last_hop =
   if rreq.rq_rr then begin
     t.self_seqno <- t.self_seqno + 1;
     t.resets <- t.resets + 1;
+    (* the T bit / MAX_DENOM probe path: this reset was forced by label
+       exhaustion, the cost the dense-set choice trades against width *)
+    t.label_resets <- t.label_resets + 1;
+    Obs.incr counter_label_resets;
     Trace.seqno_reset t.ctx.Routing_intf.trace ~node:t.ctx.Routing_intf.id
       ~seqno:t.self_seqno
   end;
@@ -514,7 +526,7 @@ let destination_reply t rreq ~last_hop =
       rp_src = rreq.rq_src;
       rp_id = rreq.rq_id;
       rp_dst = t.ctx.Routing_intf.id;
-      rp_order = Ordering.destination ~sn:t.self_seqno;
+      rp_order = Ordering.destination_of t.labels ~sn:t.self_seqno;
       rp_dist = 0;
       rp_lifetime = t.config.route_lifetime;
       rp_n = not (has_active_route t ~dst:rreq.rq_src);
@@ -548,7 +560,7 @@ let sdc t rreq =
 let relay_order t rreq =
   let own = own_ordering t rreq.rq_dst in
   let own_unassigned = not (Ordering.is_finite own) in
-  if rreq.rq_u && own_unassigned then (Ordering.unassigned, true)
+  if rreq.rq_u && own_unassigned then (t.infinite, true)
   else if own.Ordering.sn > rreq.rq_order.Ordering.sn then (own, false)
   else if own.Ordering.sn = rreq.rq_order.Ordering.sn then
     (Ordering.min own rreq.rq_order, false)
@@ -562,7 +574,9 @@ let relay_rr t rreq =
   else if own.Ordering.sn > rreq.rq_order.Ordering.sn then false
   else if
     (not (Ordering.precedes rreq.rq_order own))
-    && Ordering.split_would_overflow rreq.rq_order own
+    &&
+    let (module L : Label.S) = t.labels in
+    L.would_overflow rreq.rq_order.Ordering.label own.Ordering.label
   then true
   else rreq.rq_rr
 
@@ -587,7 +601,7 @@ let handle_rreq t ~from rreq =
     | Some adv when not rreq.rq_n ->
         ignore
           (set_route t ~dst:rreq.rq_src ~via:from ~adv_order:adv.ra_order
-             ~adv_dist:adv.ra_dist ~cached:Ordering.unassigned
+             ~adv_dist:adv.ra_dist ~cached:t.infinite
              ~lifetime:t.config.route_lifetime)
     | Some _ | None -> ());
     if rreq.rq_dst = me then destination_reply t rreq ~last_hop:from
@@ -651,7 +665,7 @@ let handle_rrep t ~from rrep =
   let cached =
     match engagement with
     | Some e -> e.e_cached
-    | None -> Ordering.unassigned
+    | None -> t.infinite
   in
   let forward_ok =
     match engagement with Some e -> not e.e_replied | None -> terminus
@@ -672,7 +686,9 @@ let handle_rrep t ~from rrep =
           flush_pending t ~dst:rrep.rp_dst;
           let own = own_ordering t rrep.rp_dst in
           let needs_reset =
-            own.Ordering.frac.Fraction.den > t.config.max_denom
+            let (module L : Label.S) = t.labels in
+            L.over_reset_threshold ~max_denom:t.config.max_denom
+              own.Ordering.label
           in
           if rrep.rp_n && t.config.probe_on_n then begin
             (* rebuild the reverse path: bump own seqno, probe forward.
@@ -809,6 +825,8 @@ let gauges t =
     Routing_intf.own_seqno = t.self_seqno - 1;
     max_denominator = t.max_denom_seen;
     seqno_resets = t.resets;
+    label_width_bits = t.label_width_max;
+    label_resets = t.label_resets;
     route_entries;
     pending_packets = Pending.total t.pending;
   }
@@ -826,10 +844,13 @@ let receive t ~src frame =
   | _ -> ()
 
 let create_full ?(config = default_config) ctx =
+  let labels = Label_set.instance config.labels in
   let t =
     {
       ctx;
       config;
+      labels;
+      infinite = Ordering.unassigned_of labels;
       routes = Hashtbl.create 32;
       engagements = Hashtbl.create 64;
       seen = Seen_cache.create ctx.Routing_intf.engine ~ttl:config.delete_period;
@@ -844,6 +865,8 @@ let create_full ?(config = default_config) ctx =
       self_seqno = 1;
       next_rreq_id = 0;
       max_denom_seen = 1;
+      label_width_max = 0;
+      label_resets = 0;
       resets = 0;
       rack_retx = 0;
       listener = ignore;

@@ -30,10 +30,12 @@ type config = {
   max_denom : int;  (** MAX_DENOM reset threshold (paper: 1e9) *)
   min_reply_hops : int;  (** RREQs travel this far before SDC replies *)
   lie_k : int;  (** k of the ordering-lie heuristic (paper: 10000) *)
-  farey_splits : bool;
-      (** interpolate labels with the minimal-denominator Farey walk instead
-          of the plain mediant — the paper's §VI future-work extension; see
-          the E8a ablation for the denominator-growth difference *)
+  labels : Slr.Label_set.id;
+      (** the dense label set the protocol mints feasible distances from:
+          bounded mediant fractions (the paper's SRP, the default),
+          minimal-denominator Farey interpolation (the §VI future-work
+          extension; see the E8a ablation), unbounded fractions, or
+          lexicographic byte strings. Orthogonal to every other knob. *)
   probe_on_n : bool;
       (** send the D-bit probe (with an own-seqno bump) when a reply carries
           the N bit. Needed only by bidirectional workloads; off by default

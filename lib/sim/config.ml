@@ -83,7 +83,7 @@ let paper_pause_times = [ 0.0; 50.0; 100.0; 200.0; 300.0; 500.0; 700.0; 900.0 ]
 let to_json (t : t) =
   let module J = Trace.Json in
   J.Obj
-    [
+    ([
       ("protocol", J.String (protocol_name t.protocol));
       ("nodes", J.Int t.nodes);
       ("terrain_width", J.Float t.terrain.Wireless.Terrain.width);
@@ -102,8 +102,18 @@ let to_json (t : t) =
       ("seed", J.Int t.seed);
       ("faults", J.Bool (not (Faults.Spec.is_none t.faults)));
     ]
+    @
+    (* conditional member: default-instance exports stay byte-identical *)
+    if t.srp.Protocols.Srp.labels = Slr.Label_set.default then []
+    else
+      [ ("labels", J.String (Slr.Label_set.name t.srp.Protocols.Srp.labels)) ])
 
 let with_protocol t protocol = { t with protocol }
+
+let labels t = t.srp.Protocols.Srp.labels
+
+let with_labels t labels =
+  { t with srp = { t.srp with Protocols.Srp.labels } }
 
 let with_pause t pause = { t with pause }
 

@@ -59,11 +59,20 @@ val small : t
 val paper_pause_times : float list
 
 (** Scalar scenario parameters as a flat JSON object (protocol tuning
-    records are omitted; [faults] reduces to whether a plan is present).
-    Embedded in every [--json] export so a result file is self-describing. *)
+    records are omitted; [faults] reduces to whether a plan is present; a
+    ["labels"] member names the label-set instance, emitted only when it is
+    not the default mediant set). Embedded in every [--json] export so a
+    result file is self-describing. *)
 val to_json : t -> Trace.Json.t
 
 val with_protocol : t -> protocol -> t
+
+(** The SLR label-set instance SRP mints feasible distances from — the
+    campaign axis of the label-set showdown (EXPERIMENTS.md). Stored in the
+    SRP tuning record; these project and update it. *)
+val labels : t -> Slr.Label_set.id
+
+val with_labels : t -> Slr.Label_set.id -> t
 
 val with_pause : t -> float -> t
 

@@ -7,6 +7,8 @@ type cell = {
   mac_drops : Stats.Summary.t;
   seqno : Stats.Summary.t;
   mutable max_denominator : int;
+  mutable label_width_bits : int;  (** campaign-wide high-water mark *)
+  mutable label_resets : int;
 }
 
 type key = { protocol : Config.protocol; pause : float; trial : int }
@@ -36,6 +38,8 @@ let fresh_cell () =
     mac_drops = Stats.Summary.create ();
     seqno = Stats.Summary.create ();
     max_denominator = 0;
+    label_width_bits = 0;
+    label_resets = 0;
   }
 
 let cell t protocol pause =
@@ -53,7 +57,10 @@ let record c (r : Metrics.result) =
   Stats.Summary.add c.mac_drops r.Metrics.mac_drops_per_node;
   Stats.Summary.add c.seqno r.Metrics.avg_seqno;
   if r.Metrics.max_denominator > c.max_denominator then
-    c.max_denominator <- r.Metrics.max_denominator
+    c.max_denominator <- r.Metrics.max_denominator;
+  if r.Metrics.label_width_bits > c.label_width_bits then
+    c.label_width_bits <- r.Metrics.label_width_bits;
+  c.label_resets <- c.label_resets + r.Metrics.label_resets
 
 (* ------------------------------------------------------------------ *)
 (* Checkpoint journal codec. The journal is human-readable JSONL — one
@@ -90,6 +97,23 @@ let jfloat name json =
   | J.Float f -> f
   | J.Int i -> float_of_int i
   | _ -> raise (Corrupt (name ^ ": expected a number"))
+
+(* optional members: absent on journals written before (or without) the
+   label-set axis, whose results all used the default instance *)
+let jint_opt name ~default json =
+  match J.member name json with
+  | Some (J.Int i) -> i
+  | Some _ -> raise (Corrupt (name ^ ": expected an integer"))
+  | None -> default
+
+let jlabels json =
+  match J.member "labels" json with
+  | Some (J.String s) -> (
+      match Slr.Label_set.of_name s with
+      | Some id -> id
+      | None -> raise (Corrupt ("unknown label set " ^ s)))
+  | Some _ -> raise (Corrupt "labels: expected a string")
+  | None -> Slr.Label_set.default
 
 let float_fields (r : Metrics.result) =
   [
@@ -159,6 +183,9 @@ let decode_result record =
     max_seqno = jint "max_seqno" rj;
     seqno_resets = jint "seqno_resets" rj;
     max_denominator = jint "max_denominator" rj;
+    labels = jlabels rj;
+    label_width_bits = jint_opt "label_width_bits" ~default:0 rj;
+    label_resets = jint_opt "label_resets" ~default:0 rj;
     drop_reasons =
       (match jget "drop_reasons" rj with
       | J.Obj members ->

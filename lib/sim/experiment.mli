@@ -17,6 +17,10 @@ type cell = {
   mac_drops : Stats.Summary.t;  (** per-node MAC drops (Fig. 3) *)
   seqno : Stats.Summary.t;  (** average node sequence number (Fig. 7) *)
   mutable max_denominator : int;  (** SRP's largest fraction denominator *)
+  mutable label_width_bits : int;
+      (** widest encoded SRP label across the cell's runs (bits) *)
+  mutable label_resets : int;
+      (** label-driven resets (T-bit / MAX_DENOM) summed over the cell *)
 }
 
 (** Identity of one campaign cell; [pause] is the nominal (un-scaled)

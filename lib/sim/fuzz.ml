@@ -18,43 +18,58 @@ type sim_case = {
   pause : float;
   sim_seed : int;
   faults : Faults.Spec.t;
+  labels : Slr.Label_set.id;
 }
 
 let to_config c =
-  {
-    Config.small with
-    protocol = c.protocol;
-    nodes = c.nodes;
-    terrain =
-      Wireless.Terrain.make
-        ~width:(300.0 +. (30.0 *. float_of_int c.nodes))
-        ~height:300.0;
-    duration = c.duration;
-    traffic_start = 1.0;
-    flows = c.flows;
-    flow_mean_duration = c.duration;
-    pause = c.pause;
-    seed = c.sim_seed;
-    faults = c.faults;
-  }
+  Config.with_labels
+    {
+      Config.small with
+      protocol = c.protocol;
+      nodes = c.nodes;
+      terrain =
+        Wireless.Terrain.make
+          ~width:(300.0 +. (30.0 *. float_of_int c.nodes))
+          ~height:300.0;
+      duration = c.duration;
+      traffic_start = 1.0;
+      flows = c.flows;
+      flow_mean_duration = c.duration;
+      pause = c.pause;
+      seed = c.sim_seed;
+      faults = c.faults;
+    }
+    c.labels
 
-let case_gen ~protocol ~faults =
+let case_gen ?(labels = Gen.pure Slr.Label_set.default) ~protocol ~faults () =
   Gen.bind protocol (fun protocol ->
       Gen.bind faults (fun faults ->
-          Gen.map2
-            (fun (nodes, flows) (duration, pause, sim_seed) ->
-              { protocol; nodes; duration; flows; pause; sim_seed; faults })
-            (Gen.pair (Gen.int_range 8 14) (Gen.int_range 2 4))
-            (Gen.triple
-               (Gen.map float_of_int (Gen.int_range 8 20))
-               (Gen.map float_of_int (Gen.int_range 0 5))
-               (Gen.no_shrink (Gen.int_range 0 1_000_000)))))
+          Gen.bind labels (fun labels ->
+              Gen.map2
+                (fun (nodes, flows) (duration, pause, sim_seed) ->
+                  {
+                    protocol;
+                    nodes;
+                    duration;
+                    flows;
+                    pause;
+                    sim_seed;
+                    faults;
+                    labels;
+                  })
+                (Gen.pair (Gen.int_range 8 14) (Gen.int_range 2 4))
+                (Gen.triple
+                   (Gen.map float_of_int (Gen.int_range 8 20))
+                   (Gen.map float_of_int (Gen.int_range 0 5))
+                   (Gen.no_shrink (Gen.int_range 0 1_000_000))))))
 
 let pp_case ppf c =
   Format.fprintf ppf
     "%s nodes=%d duration=%.0fs flows=%d pause=%.0fs seed=%d faults=[%a]"
     (Config.protocol_name c.protocol)
-    c.nodes c.duration c.flows c.pause c.sim_seed Faults.Spec.pp c.faults
+    c.nodes c.duration c.flows c.pause c.sim_seed Faults.Spec.pp c.faults;
+  if c.labels <> Slr.Label_set.default then
+    Format.fprintf ppf " labels=%s" (Slr.Label_set.name c.labels)
 
 let print_case = asprintf "%a" pp_case
 
@@ -99,16 +114,26 @@ let sim_model_law c =
     Ok ()
   with Model_violation m -> Error m
 
-let prop_sim_model =
-  Runner_c.cell ~cost:10 ~name:"srp-sim-model" ~print:print_case
-    (case_gen
+let prop_sim_model_with ?(name = "srp-sim-model") labels =
+  Runner_c.cell ~cost:10 ~name ~print:print_case
+    (case_gen ~labels
        ~protocol:(Gen.pure Config.Srp)
        ~faults:
          (Gen.frequency
             [
               (2, Gen.pure Faults.Spec.none); (3, Topo.fault_spec ());
-            ]))
+            ])
+       ())
     sim_model_law
+
+let prop_sim_model = prop_sim_model_with (Gen.pure Slr.Label_set.default)
+
+(* the identical oracle per label-set instance — Def. 5 / Eq. 3 and global
+   acyclicity are theorems about the ordering, not the concrete set *)
+let prop_sim_model_for id =
+  prop_sim_model_with
+    ~name:("srp-sim-model-" ^ Slr.Label_set.name id)
+    (Gen.pure id)
 
 (* ------------------------------------------------------------------ *)
 (* Packet conservation: delivered + dropped + in-flight = originated,
@@ -222,17 +247,21 @@ let conservation_law c =
              dropped_only)
       else Ok ()
 
-let prop_conservation =
-  Runner_c.cell ~cost:10 ~name:"metrics-conservation" ~print:print_case
-    (case_gen
+let prop_conservation_with ?(name = "metrics-conservation") labels =
+  Runner_c.cell ~cost:10 ~name ~print:print_case
+    (case_gen ~labels
        ~protocol:(Gen.elements Config.all_protocols)
        ~faults:
          (Gen.frequency
             [
               (3, Gen.pure Faults.Spec.none);
               (2, Topo.fault_spec ~crashes:true ());
-            ]))
+            ])
+       ())
     conservation_law
+
+let prop_conservation =
+  prop_conservation_with (Gen.pure Slr.Label_set.default)
 
 (* ------------------------------------------------------------------ *)
 (* Checkpoint–resume equivalence: journal a small campaign, truncate the
@@ -242,10 +271,11 @@ let prop_conservation =
 
 type resume_case = { base_case : sim_case; trials : int; cut : int }
 
-let resume_case_gen =
+let resume_case_gen ?labels () =
   Gen.bind
-    (case_gen ~protocol:(Gen.elements Config.all_protocols)
-       ~faults:(Gen.pure Faults.Spec.none))
+    (case_gen ?labels
+       ~protocol:(Gen.elements Config.all_protocols)
+       ~faults:(Gen.pure Faults.Spec.none) ())
     (fun base_case ->
       Gen.map2
         (fun trials cut ->
@@ -297,8 +327,28 @@ let resume_equiv_law c =
         else Ok ()
       end)
 
-let prop_resume_equiv =
-  Runner_c.cell ~cost:10 ~name:"campaign-resume-equiv"
-    ~print:print_resume_case resume_case_gen resume_equiv_law
+let prop_resume_equiv_with ?(name = "campaign-resume-equiv") labels =
+  Runner_c.cell ~cost:10 ~name ~print:print_resume_case
+    (resume_case_gen ~labels ())
+    resume_equiv_law
 
-let props = [ prop_sim_model; prop_conservation; prop_resume_equiv ]
+let prop_resume_equiv =
+  prop_resume_equiv_with (Gen.pure Slr.Label_set.default)
+
+let props =
+  [ prop_sim_model; prop_conservation; prop_resume_equiv ]
+  @ List.map prop_sim_model_for
+      (List.filter
+         (fun id -> id <> Slr.Label_set.default)
+         Slr.Label_set.all)
+
+(* `manet_sim fuzz --labels <set>`: the core catalogue with every scenario
+   pinned to one instance (names unchanged, so --prop/--replay work the
+   same whatever instance is under test). *)
+let props_for id =
+  let labels = Gen.pure id in
+  [
+    prop_sim_model_with labels;
+    prop_conservation_with labels;
+    prop_resume_equiv_with labels;
+  ]

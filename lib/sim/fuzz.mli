@@ -4,5 +4,14 @@
     catalogue ([cost] 10): the fuzz CLI and the fixed-seed suite scale
     their case budget down accordingly. *)
 
-(** The catalogue; the CLI concatenates it with [Check.Props.all]. *)
+(** The catalogue; the CLI concatenates it with [Check.Props.all]. Besides
+    the three core cells (which fuzz the default mediant instance), it
+    carries one [srp-sim-model-<set>] cell per non-default label-set
+    instance: the identical Ordering-Criteria oracle must hold whatever
+    dense set mints the labels. *)
 val props : Check.Runner.packed list
+
+(** The three core cells with every generated scenario pinned to the given
+    label-set instance (cell names unchanged, so [--prop]/[--replay] are
+    stable across instances). Backs [manet_sim fuzz --labels]. *)
+val props_for : Slr.Label_set.id -> Check.Runner.packed list

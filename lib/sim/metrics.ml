@@ -59,6 +59,9 @@ type result = {
   max_seqno : int;
   seqno_resets : int;
   max_denominator : int;
+  labels : Slr.Label_set.id;
+  label_width_bits : int;
+  label_resets : int;
   drop_reasons : (string * int) list;
   fault_events : int;
   fault_frames_blocked : int;
@@ -68,9 +71,9 @@ type result = {
   engine_events : int;
 }
 
-let finalize (t : t) ~control_tx ~data_tx ~drop_queue_full ~drop_retry
-    ~mac_drops ~collisions ~nodes ~gauges ~fault_events ~fault_frames_blocked
-    ~engine_events =
+let finalize ?(labels = Slr.Label_set.default) (t : t) ~control_tx ~data_tx
+    ~drop_queue_full ~drop_retry ~mac_drops ~collisions ~nodes ~gauges
+    ~fault_events ~fault_frames_blocked ~engine_events =
   let seqnos =
     List.map (fun g -> g.Protocols.Routing_intf.own_seqno) gauges
   in
@@ -107,6 +110,15 @@ let finalize (t : t) ~control_tx ~data_tx ~drop_queue_full ~drop_retry
       List.fold_left
         (fun acc g -> Stdlib.max acc g.Protocols.Routing_intf.max_denominator)
         0 gauges;
+    labels;
+    label_width_bits =
+      List.fold_left
+        (fun acc g -> Stdlib.max acc g.Protocols.Routing_intf.label_width_bits)
+        0 gauges;
+    label_resets =
+      List.fold_left
+        (fun acc g -> acc + g.Protocols.Routing_intf.label_resets)
+        0 gauges;
     drop_reasons =
       List.sort
         (fun (_, a) (_, b) -> compare b a)
@@ -123,8 +135,19 @@ let finalize (t : t) ~control_tx ~data_tx ~drop_queue_full ~drop_retry
 
 let result_json (r : result) =
   let module J = Trace.Json in
+  (* the label-set members appear only for non-default instances, so
+     default-instance exports stay byte-identical to pre-refactor output *)
+  let label_members =
+    if r.labels = Slr.Label_set.default then []
+    else
+      [
+        ("labels", J.String (Slr.Label_set.name r.labels));
+        ("label_width_bits", J.Int r.label_width_bits);
+        ("label_resets", J.Int r.label_resets);
+      ]
+  in
   J.Obj
-    [
+    ([
       ("sent", J.Int r.sent);
       ("delivered", J.Int r.delivered);
       ("delivery_ratio", J.Float r.delivery_ratio);
@@ -140,6 +163,9 @@ let result_json (r : result) =
       ("max_seqno", J.Int r.max_seqno);
       ("seqno_resets", J.Int r.seqno_resets);
       ("max_denominator", J.Int r.max_denominator);
+    ]
+    @ label_members
+    @ [
       ( "drop_reasons",
         J.Obj (List.map (fun (k, v) -> (k, J.Int v)) r.drop_reasons) );
       ("fault_events", J.Int r.fault_events);
@@ -148,11 +174,15 @@ let result_json (r : result) =
       ("recovery_mean", J.Float r.recovery_mean);
       ("recovery_max", J.Float r.recovery_max);
       ("engine_events", J.Int r.engine_events);
-    ]
+    ])
 
 let pp_result ppf r =
   Format.fprintf ppf
     "sent %d, delivered %d (%.3f), control %d (load %.3f), latency %.3fs, \
      mac-drops/node %.1f, collisions %d, avg-seqno %.2f"
     r.sent r.delivered r.delivery_ratio r.control_tx r.network_load r.latency
-    r.mac_drops_per_node r.collisions r.avg_seqno
+    r.mac_drops_per_node r.collisions r.avg_seqno;
+  if r.labels <> Slr.Label_set.default then
+    Format.fprintf ppf ", labels %s (max width %d bits, %d label resets)"
+      (Slr.Label_set.name r.labels)
+      r.label_width_bits r.label_resets

@@ -37,6 +37,11 @@ type result = {
   max_seqno : int;
   seqno_resets : int;
   max_denominator : int;
+  labels : Slr.Label_set.id;  (** the label-set instance the run used *)
+  label_width_bits : int;
+      (** widest encoded label any node minted (bits); SRP only *)
+  label_resets : int;
+      (** label-driven resets (T-bit / MAX_DENOM probes), summed over nodes *)
   drop_reasons : (string * int) list;  (** routing-layer drops by reason *)
   fault_events : int;  (** injected fault events (0 on clean runs) *)
   fault_frames_blocked : int;  (** frames suppressed by the injector *)
@@ -47,8 +52,13 @@ type result = {
 }
 
 (** [finalize t ~control_tx ~mac_drops ~collisions ~nodes ~gauges] closes
-    the books; [gauges] are the per-node protocol gauges. *)
+    the books; [gauges] are the per-node protocol gauges. [?labels] names
+    the label-set instance the run was configured with (default: the
+    mediant set); non-default instances add their width/reset members to
+    {!result_json} and {!pp_result}, the default stays byte-identical to
+    pre-instance output. *)
 val finalize :
+  ?labels:Slr.Label_set.id ->
   t ->
   control_tx:int ->
   data_tx:int ->

@@ -92,7 +92,24 @@ let fig7 ppf t =
     Format.fprintf ppf
       "SRP max feasible-distance denominator over the campaign: %d (paper: \
        stayed under 840 million; 32-bit bound is %d)@."
-      max_denom Slr.Fraction.bound
+      max_denom Slr.Fraction.bound;
+    (* label-set showdown metrics: printed only off the default instance,
+       so default-campaign reports stay byte-identical *)
+    if Config.labels t.Experiment.base <> Slr.Label_set.default then begin
+      let width, resets =
+        List.fold_left
+          (fun (w, r) pause ->
+            let c = Experiment.cell t Config.Srp pause in
+            ( Stdlib.max w c.Experiment.label_width_bits,
+              r + c.Experiment.label_resets ))
+          (0, 0) t.Experiment.pauses
+      in
+      Format.fprintf ppf
+        "SRP label set %s: max encoded label width %d bits, %d label-driven \
+         resets@."
+        (Slr.Label_set.name (Config.labels t.Experiment.base))
+        width resets
+    end
   end
 
 (* Quarantined cells, printed only when there are any: a clean campaign's
@@ -138,16 +155,28 @@ let campaign_json (t : Experiment.t) =
           (fun pause ->
             let c = Experiment.cell t protocol pause in
             J.Obj
-              [
-                ("protocol", J.String (Config.protocol_name protocol));
-                ("pause", J.Float pause);
-                ("delivery_ratio", summary c.Experiment.delivery);
-                ("network_load", summary c.Experiment.load);
-                ("latency", summary c.Experiment.latency);
-                ("mac_drops_per_node", summary c.Experiment.mac_drops);
-                ("avg_seqno", summary c.Experiment.seqno);
-                ("max_denominator", J.Int c.Experiment.max_denominator);
-              ])
+              ([
+                 ("protocol", J.String (Config.protocol_name protocol));
+                 ("pause", J.Float pause);
+                 ("delivery_ratio", summary c.Experiment.delivery);
+                 ("network_load", summary c.Experiment.load);
+                 ("latency", summary c.Experiment.latency);
+                 ("mac_drops_per_node", summary c.Experiment.mac_drops);
+                 ("avg_seqno", summary c.Experiment.seqno);
+                 ("max_denominator", J.Int c.Experiment.max_denominator);
+               ]
+              @
+              (* per-instance members ride only on SRP cells of non-default
+                 campaigns: default exports stay byte-identical *)
+              if
+                protocol = Config.Srp
+                && Config.labels t.Experiment.base <> Slr.Label_set.default
+              then
+                [
+                  ("label_width_bits", J.Int c.Experiment.label_width_bits);
+                  ("label_resets", J.Int c.Experiment.label_resets);
+                ]
+              else []))
           t.Experiment.pauses)
       t.Experiment.protocols
   in

@@ -224,8 +224,15 @@ let run_custom_detailed ?(on_faults = fun (_ : Faults.Injector.t) -> ())
         let s = Faults.Injector.stats injector in
         (Faults.Injector.event_count s, s.Faults.Injector.frames_blocked)
   in
+  let labels =
+    (* only SRP mints labels; other protocols keep the default instance so
+       their results never grow label members *)
+    match config.protocol with
+    | Config.Srp -> Config.labels config
+    | _ -> Slr.Label_set.default
+  in
   let result =
-    Metrics.finalize metrics ~control_tx
+    Metrics.finalize ~labels metrics ~control_tx
       ~data_tx:(sum_stat (fun s -> s.Wireless.Mac80211.tx_data))
       ~drop_queue_full:(sum_stat (fun s -> s.Wireless.Mac80211.drop_queue_full))
       ~drop_retry:(sum_stat (fun s -> s.Wireless.Mac80211.drop_retry))

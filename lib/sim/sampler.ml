@@ -5,12 +5,14 @@ let start engine ~trace ~every ~gauges ~mac_queue =
     let prev_executed = ref (Des.Engine.executed engine) in
     let rec tick () =
       let totals = gauges () in
-      let routes, pending =
+      let routes, pending, label_width_bits, label_resets =
         List.fold_left
-          (fun (r, p) g ->
+          (fun (r, p, w, lr) g ->
             ( r + g.Protocols.Routing_intf.route_entries,
-              p + g.Protocols.Routing_intf.pending_packets ))
-          (0, 0) totals
+              p + g.Protocols.Routing_intf.pending_packets,
+              Stdlib.max w g.Protocols.Routing_intf.label_width_bits,
+              lr + g.Protocols.Routing_intf.label_resets ))
+          (0, 0, 0, 0) totals
       in
       let executed = Des.Engine.executed engine in
       let events_per_sec =
@@ -25,7 +27,8 @@ let start engine ~trace ~every ~gauges ~mac_queue =
         ~executed ~events_per_sec
         ~retries:(Supervisor.retries_total ())
         ~quarantined:(Supervisor.quarantined_total ())
-        ~journal_lines:(Trace.Journal.lines_flushed ());
+        ~journal_lines:(Trace.Journal.lines_flushed ())
+        ~label_width_bits ~label_resets;
       ignore (Des.Engine.schedule ~span:span_sample engine ~delay:every tick)
     in
     ignore (Des.Engine.schedule ~span:span_sample engine ~delay:every tick)

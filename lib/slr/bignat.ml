@@ -89,6 +89,28 @@ let compare a b =
 
 let equal a b = compare a b = 0
 
+let sub a b =
+  if compare a b < 0 then invalid_arg "Bignat.sub: would be negative"
+  else begin
+    let la = Array.length a and lb = Array.length b in
+    let out = Array.make la 0 in
+    let borrow = ref 0 in
+    for i = 0 to la - 1 do
+      let bv = if i < lb then b.(i) else 0 in
+      let d = a.(i) - bv - !borrow in
+      if d < 0 then begin
+        out.(i) <- d + base;
+        borrow := 1
+      end
+      else begin
+        out.(i) <- d;
+        borrow := 0
+      end
+    done;
+    assert (!borrow = 0);
+    normalize out
+  end
+
 let bits t =
   let n = Array.length t in
   if n = 0 then 0

@@ -16,6 +16,10 @@ val to_int : t -> int option
 
 val add : t -> t -> t
 
+(** Truncating subtraction is not offered: [sub a b] requires [a >= b].
+    @raise Invalid_argument when the difference would be negative. *)
+val sub : t -> t -> t
+
 val mul : t -> t -> t
 
 val compare : t -> t -> int

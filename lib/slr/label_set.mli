@@ -1,0 +1,23 @@
+(** Registry of the four dense label-set instances, keyed by the names the
+    CLI accepts ([--labels mediant|farey|bigfrac|lex]).
+
+    {!id} is the plain enumeration carried in configuration records and
+    serialised into campaign JSON; {!instance} resolves it to the
+    first-class module the protocol stack programs against. *)
+
+type id = Mediant | Farey | Bigfrac | Lex
+
+val all : id list
+
+(** {!Mediant} — the paper's SRP label set. *)
+val default : id
+
+val name : id -> string
+
+val of_name : string -> id option
+
+val instance : id -> (module Label.S)
+
+(** [of_string s] resolves a CLI name directly to its instance.
+    @raise Invalid_argument on an unknown name. *)
+val of_string : string -> (module Label.S)

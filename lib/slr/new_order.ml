@@ -21,31 +21,35 @@ let maintains_order ~current ~cached ~adv g =
   && Ordering.precedes cached g
   && Ordering.precedes g adv
 
-(* Direct transcription of Algorithm 1. [split] interpolates the cached
-   solicitation fraction with the advertisement's, keeping the
-   advertisement's sequence number (lines 7 and 12). *)
-let compute_with ~split ~current ~cached ~adv =
+(* Direct transcription of Algorithm 1, generic over the label set.
+   [L.split] interpolates the cached solicitation label with the
+   advertisement's, keeping the advertisement's sequence number (lines 7
+   and 12); [L.next] is the next-element of line 5. *)
+let compute_with ~labels:(module L : Label.S) ~current ~cached ~adv =
+  let infinite = Ordering.unassigned_of (module L : Label.S) in
   let split () =
-    (* the interval is (adv.frac, cached.frac): the advertisement is the
-       lower label's fraction ... at equal sequence numbers the feasible
-       advertisement has the smaller fraction *)
-    let lo = adv.Ordering.frac and hi = cached.Ordering.frac in
-    if Fraction.compare lo hi >= 0 then None
+    (* the interval is (adv.label, cached.label): the advertisement is the
+       lower label ... at equal sequence numbers the feasible advertisement
+       has the smaller label *)
+    let lo = adv.Ordering.label and hi = cached.Ordering.label in
+    if L.compare lo hi >= 0 then None
     else
-      match split ~lo ~hi with
+      match L.split ~lo ~hi with
       | None -> None
-      | Some frac -> Some (Ordering.make ~sn:adv.Ordering.sn ~frac)
+      | Some label -> Some (Ordering.v ~sn:adv.Ordering.sn ~label)
   in
   let candidate =
     if current.Ordering.sn < adv.Ordering.sn then
       if cached.Ordering.sn < adv.Ordering.sn then
-        match Ordering.next adv with
-        | Some order -> { order; case = Fresher_next }
-        | None -> { order = Ordering.unassigned; case = Infinite }
+        match L.next adv.Ordering.label with
+        | Some label ->
+            { order = Ordering.v ~sn:adv.Ordering.sn ~label;
+              case = Fresher_next }
+        | None -> { order = infinite; case = Infinite }
       else begin
         match split () with
         | Some order -> { order; case = Fresher_split }
-        | None -> { order = Ordering.unassigned; case = Infinite }
+        | None -> { order = infinite; case = Infinite }
       end
     else if current.Ordering.sn = adv.Ordering.sn then
       if Ordering.precedes cached current then
@@ -53,19 +57,18 @@ let compute_with ~split ~current ~cached ~adv =
       else begin
         match split () with
         | Some order -> { order; case = Equal_split }
-        | None -> { order = Ordering.unassigned; case = Infinite }
+        | None -> { order = infinite; case = Infinite }
       end
-    else { order = Ordering.unassigned; case = Infinite }
+    else { order = infinite; case = Infinite }
   in
   if
     candidate.case = Infinite
     || maintains_order ~current ~cached ~adv candidate.order
   then candidate
-  else { order = Ordering.unassigned; case = Infinite }
+  else { order = infinite; case = Infinite }
 
 let compute ~current ~cached ~adv =
-  compute_with ~split:(fun ~lo ~hi -> Fraction.mediant lo hi) ~current ~cached
-    ~adv
+  compute_with ~labels:(module Label.Mediant : Label.S) ~current ~cached ~adv
 
 let filter_successors ~order succs =
   List.filter (fun (_, s) -> Ordering.precedes order s) succs

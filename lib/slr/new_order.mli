@@ -27,13 +27,14 @@ and case =
 val compute :
   current:Ordering.t -> cached:Ordering.t -> adv:Ordering.t -> result
 
-(** Like {!compute} with a custom interpolation for lines 7 and 12:
-    [split ~lo ~hi] must return a fraction strictly inside ([lo], [hi]) or
-    [None]. The default is the mediant (Eq. 1); passing
-    {!Farey.simplest_between} yields minimal-denominator labels — the
-    fraction-reduction extension the paper sketches as future work (§VI). *)
+(** Like {!compute}, generic over the label set: [labels] supplies the
+    next-element of line 5 and the interpolation of lines 7 and 12. The
+    default instance is {!Label.Mediant} (Eq. 1); {!Label.Farey} yields
+    minimal-denominator labels — the fraction-reduction extension the paper
+    sketches as future work (§VI) — and {!Label.Bigfrac_set}/{!Label.Lex}
+    never overflow. *)
 val compute_with :
-  split:(lo:Fraction.t -> hi:Fraction.t -> Fraction.t option) ->
+  labels:(module Label.S) ->
   current:Ordering.t ->
   cached:Ordering.t ->
   adv:Ordering.t ->

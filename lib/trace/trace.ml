@@ -13,7 +13,12 @@ type ev =
   | Ctl_rx of { kind : string; from : int }
   | Route_add of { dst : int; via : int; dist : int }
   | Route_del of { dst : int; via : int; reason : string }
-  | Label_split of { dst : int; sn : int; num : int; den : int }
+  | Label_split of {
+      dst : int;
+      sn : int;
+      label : string;
+      frac : (int * int) option;
+    }
   | Seqno_reset of { seqno : int }
   | Mac_backoff of { cw : int }
   | Mac_collision
@@ -31,6 +36,9 @@ type ev =
       retries : int;
       quarantined : int;
       journal_lines : int;
+      (* routing-label telemetry (0 off SRP) *)
+      label_width_bits : int;
+      label_resets : int;
     }
 
 type record = { time : float; node : int; ev : ev }
@@ -108,9 +116,14 @@ let ev_fields = function
   | Route_del { dst; via; reason } ->
       ("route-del", [ ("dst", Json.Int dst); ("via", Json.Int via);
                       ("reason", Json.String reason) ])
-  | Label_split { dst; sn; num; den } ->
-      ("label-split", [ ("dst", Json.Int dst); ("sn", Json.Int sn);
-                        ("num", Json.Int num); ("den", Json.Int den) ])
+  | Label_split { dst; sn; label; frac } ->
+      ( "label-split",
+        ("dst", Json.Int dst) :: ("sn", Json.Int sn)
+        :: ("label", Json.String label)
+        ::
+        (match frac with
+        | Some (num, den) -> [ ("num", Json.Int num); ("den", Json.Int den) ]
+        | None -> []) )
   | Seqno_reset { seqno } -> ("seqno-reset", [ ("seqno", Json.Int seqno) ])
   | Mac_backoff { cw } -> ("mac-backoff", [ ("cw", Json.Int cw) ])
   | Mac_collision -> ("mac-collision", [])
@@ -121,7 +134,8 @@ let ev_fields = function
                   ("b", Json.Int b) ])
   | Gauge
       { routes; pending; mac_queue; live_events; executed; events_per_sec;
-        retries; quarantined; journal_lines } ->
+        retries; quarantined; journal_lines; label_width_bits; label_resets }
+    ->
       ("gauge", [ ("routes", Json.Int routes); ("pending", Json.Int pending);
                   ("mac_queue", Json.Int mac_queue);
                   ("live_events", Json.Int live_events);
@@ -129,7 +143,9 @@ let ev_fields = function
                   ("events_per_sec", Json.Float events_per_sec);
                   ("retries", Json.Int retries);
                   ("quarantined", Json.Int quarantined);
-                  ("journal_lines", Json.Int journal_lines) ])
+                  ("journal_lines", Json.Int journal_lines);
+                  ("label_width_bits", Json.Int label_width_bits);
+                  ("label_resets", Json.Int label_resets) ])
 
 let record_to_json { time; node; ev } =
   let name, fields = ev_fields ev in
@@ -237,10 +253,10 @@ let route_del t ~node ~dst ~via ~reason =
   | Null -> ()
   | _ -> emit t ~node (Route_del { dst; via; reason })
 
-let label_split t ~node ~dst ~sn ~num ~den =
+let label_split t ~node ~dst ~sn ~label ~frac =
   match t.sink with
   | Null -> ()
-  | _ -> emit t ~node (Label_split { dst; sn; num; den })
+  | _ -> emit t ~node (Label_split { dst; sn; label; frac })
 
 let seqno_reset t ~node ~seqno =
   match t.sink with Null -> () | _ -> emit t ~node (Seqno_reset { seqno })
@@ -261,11 +277,12 @@ let fault t ~kind ~a ~b =
   match t.sink with Null -> () | _ -> emit t ~node:(-1) (Fault { kind; a; b })
 
 let gauge t ~routes ~pending ~mac_queue ~live_events ~executed ~events_per_sec
-    ~retries ~quarantined ~journal_lines =
+    ~retries ~quarantined ~journal_lines ~label_width_bits ~label_resets =
   match t.sink with
   | Null -> ()
   | _ ->
       emit t ~node:(-1)
         (Gauge
            { routes; pending; mac_queue; live_events; executed;
-             events_per_sec; retries; quarantined; journal_lines })
+             events_per_sec; retries; quarantined; journal_lines;
+             label_width_bits; label_resets })

@@ -33,8 +33,13 @@ type ev =
   | Ctl_rx of { kind : string; from : int }
   | Route_add of { dst : int; via : int; dist : int }
   | Route_del of { dst : int; via : int; reason : string }
-  | Label_split of { dst : int; sn : int; num : int; den : int }
-      (** NEWORDER minted a fresh label strictly between two orderings *)
+  | Label_split of {
+      dst : int;
+      sn : int;
+      label : string;  (** instance-tagged encoding ("3/5", "0x80a1") *)
+      frac : (int * int) option;
+          (** back-compat exact num/den for bounded-fraction instances *)
+    }  (** NEWORDER minted a fresh label strictly between two orderings *)
   | Seqno_reset of { seqno : int }
   | Mac_backoff of { cw : int }
   | Mac_collision
@@ -51,6 +56,9 @@ type ev =
       retries : int;  (** supervisor retries so far, campaign-wide *)
       quarantined : int;  (** cells quarantined so far, campaign-wide *)
       journal_lines : int;  (** checkpoint journal lines flushed so far *)
+      label_width_bits : int;
+          (** widest encoded routing label seen so far (0 off SRP) *)
+      label_resets : int;  (** label-driven seqno resets so far *)
     }  (** periodic whole-network sample (node is -1) *)
 
 type record = { time : float; node : int; ev : ev }
@@ -108,8 +116,17 @@ val ctl_rx : t -> node:int -> kind:string -> from:int -> unit
 val route_add : t -> node:int -> dst:int -> via:int -> dist:int -> unit
 val route_del : t -> node:int -> dst:int -> via:int -> reason:string -> unit
 
+(** The [label]/[frac] arguments are evaluated at the call site even when
+    tracing is off — guard the call with {!enabled} to keep the disabled
+    path allocation-free. *)
 val label_split :
-  t -> node:int -> dst:int -> sn:int -> num:int -> den:int -> unit
+  t ->
+  node:int ->
+  dst:int ->
+  sn:int ->
+  label:string ->
+  frac:(int * int) option ->
+  unit
 
 val seqno_reset : t -> node:int -> seqno:int -> unit
 val mac_backoff : t -> node:int -> cw:int -> unit
@@ -129,4 +146,6 @@ val gauge :
   retries:int ->
   quarantined:int ->
   journal_lines:int ->
+  label_width_bits:int ->
+  label_resets:int ->
   unit

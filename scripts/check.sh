@@ -46,6 +46,27 @@ dune exec bin/manet_sim.exe -- campaign --nodes 20 --duration 10 \
 cmp "$tmp/campaign_j1.json" "$tmp/campaign_j2.json"
 cmp "$tmp/campaign_j1.txt" "$tmp/campaign_j2.txt"
 
+# label-set smoke: the default (mediant) campaign must stay byte-identical
+# to the committed pre-refactor golden at -j 1 and -j 4 — the LABEL
+# abstraction is free on the paper's instance — and every other dense-set
+# instance must complete the same campaign and tag its JSON
+cmp "$tmp/campaign_j1.json" scripts/golden/campaign_default.json
+cmp "$tmp/campaign_j1.txt" scripts/golden/campaign_default.txt
+dune exec bin/manet_sim.exe -- campaign --nodes 20 --duration 10 \
+  --trials 1 --flows 3 --quiet -j 4 --json "$tmp/campaign_j4.json" \
+  > "$tmp/campaign_j4.txt" 2> /dev/null
+cmp "$tmp/campaign_j4.json" scripts/golden/campaign_default.json
+cmp "$tmp/campaign_j4.txt" scripts/golden/campaign_default.txt
+for set in farey bigfrac lex; do
+  dune exec bin/manet_sim.exe -- campaign --nodes 20 --duration 10 \
+    --trials 1 --flows 3 --quiet -j 2 --labels "$set" \
+    --json "$tmp/campaign_$set.json" > /dev/null 2> /dev/null
+  grep -q "\"labels\":\"$set\"" "$tmp/campaign_$set.json"
+done
+# ... and the fixed-seed fuzz catalogue must hold with scenarios pinned to
+# a non-default instance (the identical Ordering-Criteria oracle applies)
+dune exec bin/manet_sim.exe -- fuzz --max-cases 25 --seed 7 --labels bigfrac
+
 # throughput regression gate: rerun the committed baseline's reduced
 # campaign (same flags as the BENCH_campaign.json snapshot) and fail when
 # perf.events_per_sec_per_job drops below 75% of the committed number

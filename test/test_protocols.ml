@@ -114,7 +114,7 @@ let test_srp_destination_reply () =
       Alcotest.(check int) "advertises itself" 5 rrep.Srp.rp_dst;
       Alcotest.(check int) "destination seqno" 1 rrep.Srp.rp_order.O.sn;
       Alcotest.(check bool) "fraction 0/1" true
-        (F.is_zero rrep.Srp.rp_order.O.frac);
+        (F.is_zero (O.frac rrep.Srp.rp_order));
       Alcotest.(check int) "distance 0" 0 rrep.Srp.rp_dist
   | l -> Alcotest.failf "expected 1 RREP, got %d" (List.length l));
   (* the last hop RACKs the reply: no retransmissions follow *)
@@ -199,12 +199,13 @@ let test_srp_lie_heuristic () =
       Alcotest.(check bool) "not unassigned" false rreq.Srp.rq_u;
       Alcotest.(check bool) "lied below own ordering" true
         (O.precedes own rreq.Srp.rq_order
-         || F.compare rreq.Srp.rq_order.O.frac own.O.frac < 0);
+         || F.compare (O.frac rreq.Srp.rq_order) (O.frac own) < 0);
       (* (p-1)/(q-1) for own = (1, p/q) with p > 1 *)
-      let f = own.O.frac in
+      let f = O.frac own in
       if f.F.num > 1 then begin
-        Alcotest.(check int) "num - 1" (f.F.num - 1) rreq.Srp.rq_order.O.frac.F.num;
-        Alcotest.(check int) "den - 1" (f.F.den - 1) rreq.Srp.rq_order.O.frac.F.den
+        let lied = O.frac rreq.Srp.rq_order in
+        Alcotest.(check int) "num - 1" (f.F.num - 1) lied.F.num;
+        Alcotest.(check int) "den - 1" (f.F.den - 1) lied.F.den
       end
   | [] -> Alcotest.fail "no RREQ"
 

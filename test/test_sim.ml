@@ -87,9 +87,11 @@ let test_metrics_accounting () =
   Sim.Metrics.on_delivered m ~now:2.7 (data 3);
   let gauges =
     [ { Protocols.Routing_intf.own_seqno = 4; max_denominator = 7;
-        seqno_resets = 1; route_entries = 2; pending_packets = 0 };
+        seqno_resets = 1; route_entries = 2; pending_packets = 0;
+        label_width_bits = 13; label_resets = 1 };
       { Protocols.Routing_intf.own_seqno = 0; max_denominator = 3;
-        seqno_resets = 0; route_entries = 1; pending_packets = 3 } ]
+        seqno_resets = 0; route_entries = 1; pending_packets = 3;
+        label_width_bits = 7; label_resets = 0 } ]
   in
   let r =
     Sim.Metrics.finalize m ~control_tx:10 ~data_tx:5 ~drop_queue_full:1
@@ -98,6 +100,9 @@ let test_metrics_accounting () =
   in
   Alcotest.(check int) "sent" 2 r.Sim.Metrics.sent;
   Alcotest.(check int) "delivered" 2 r.Sim.Metrics.delivered;
+  Alcotest.(check int) "label width is the gauge max" 13
+    r.Sim.Metrics.label_width_bits;
+  Alcotest.(check int) "label resets summed" 1 r.Sim.Metrics.label_resets;
   Alcotest.(check (float 1e-9)) "ratio" 1.0 r.Sim.Metrics.delivery_ratio;
   Alcotest.(check (float 1e-9)) "load" 5.0 r.Sim.Metrics.network_load;
   Alcotest.(check (float 1e-9)) "latency" 1.1 r.Sim.Metrics.latency;
@@ -151,10 +156,7 @@ let test_srp_farey_splits_variant () =
     { (quick_config C.Srp) with C.pause = 0.0; duration = 40.0; flows = 5 }
   in
   let mediant = Sim.Runner.run mobile in
-  let farey =
-    Sim.Runner.run
-      { mobile with C.srp = { Protocols.Srp.default_config with farey_splits = true } }
-  in
+  let farey = Sim.Runner.run (C.with_labels mobile Slr.Label_set.Farey) in
   Alcotest.(check bool) "farey variant still delivers" true
     (farey.Sim.Metrics.delivery_ratio >= 0.7);
   Alcotest.(check bool)
@@ -165,13 +167,9 @@ let test_srp_farey_splits_variant () =
 
 let test_srp_farey_loop_free () =
   let config =
-    {
-      (quick_config C.Srp) with
-      C.pause = 0.0;
-      duration = 30.0;
-      flows = 5;
-      srp = { Protocols.Srp.default_config with farey_splits = true };
-    }
+    C.with_labels
+      { (quick_config C.Srp) with C.pause = 0.0; duration = 30.0; flows = 5 }
+      Slr.Label_set.Farey
   in
   match Sim.Loopcheck.run config ~interval:0.5 with
   | Ok _ -> ()

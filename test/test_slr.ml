@@ -346,13 +346,12 @@ let test_neworder_custom_split () =
      Farey 1/2 as well. Denominator differences only show on narrow skewed
      intervals: (7/10, 5/7): mediant 12/17, Farey... check strictness and
      denominator no larger instead. *)
-  let farey = Slr.Farey.simplest_between in
   let current = ord 2 9 10 in
   let cached = O.make ~sn:2 ~frac:(frac 5 7) in
   let adv = O.make ~sn:2 ~frac:(frac 7 10) in
   let with_mediant = compute ~current ~cached ~adv in
   let with_farey =
-    NO.compute_with ~split:(fun ~lo ~hi -> farey ~lo ~hi) ~current ~cached ~adv
+    NO.compute_with ~labels:(module Slr.Label.Farey) ~current ~cached ~adv
   in
   Alcotest.(check bool) "mediant split finite" true
     (O.is_finite with_mediant.NO.order);
@@ -360,12 +359,12 @@ let test_neworder_custom_split () =
     (O.is_finite with_farey.NO.order);
   List.iter
     (fun r ->
-      let g = r.NO.order in
+      let g = O.frac r.NO.order in
       Alcotest.(check bool) "strictly inside" true
-        F.(adv.O.frac < g.O.frac && g.O.frac < cached.O.frac))
+        F.(O.frac adv < g && g < O.frac cached))
     [ with_mediant; with_farey ];
   Alcotest.(check bool) "farey denominator no larger" true
-    (with_farey.NO.order.O.frac.F.den <= with_mediant.NO.order.O.frac.F.den)
+    ((O.frac with_farey.NO.order).F.den <= (O.frac with_mediant.NO.order).F.den)
 
 let test_neworder_degenerate_interval () =
   (* cached and advertisement carrying the same fraction leaves no room:
