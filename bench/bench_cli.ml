@@ -17,6 +17,7 @@ type t = {
   prof_out : string option;
   labels : Slr.Label_set.id;
   labels_out : string;
+  scenario : Sim.Scenario.t;
 }
 
 let default =
@@ -39,6 +40,7 @@ let default =
     prof_out = None;
     labels = Slr.Label_set.default;
     labels_out = "BENCH_labels.json";
+    scenario = Sim.Scenario.default;
   }
 
 let known_sections =
@@ -51,6 +53,7 @@ let usage =
   \       [--check-regression PATH] [--compare-sequential]\n\
   \       [--resume PATH] [--cell-timeout S] [--retries N] [--fail-fast]\n\
   \       [--prof] [--prof-out PATH] [--labels SET] [--labels-out PATH]\n\
+  \       [--scenario NAME]\n\
    sections: " ^ String.concat " " known_sections ^ " (default: all)\n\
    -j N farms campaign cells over N domains; results are byte-identical\n\
    whatever N is. --check-regression compares fresh throughput against the\n\
@@ -64,7 +67,10 @@ let usage =
    --labels SET runs the campaign sections with SRP minting labels from the\n\
    given dense set (mediant|farey|bigfrac|lex; default mediant); the labels\n\
    section sweeps all four instances on long-horizon SRP runs and writes\n\
-   the comparison to --labels-out (default BENCH_labels.json)."
+   the comparison to --labels-out (default BENCH_labels.json).\n\
+   --scenario NAME pins the campaign sections to a registered workload\n\
+   scenario (mobility + traffic models); the adversarial entry is not a\n\
+   benchmarkable workload and is rejected."
 
 let ( let* ) = Result.bind
 
@@ -88,7 +94,8 @@ let parse args =
       when List.mem flag
              [ "--trials"; "--duration"; "--flows"; "--jobs"; "-j";
                "--check-regression"; "--out"; "--resume"; "--cell-timeout";
-               "--retries"; "--prof-out"; "--labels"; "--labels-out" ] ->
+               "--retries"; "--prof-out"; "--labels"; "--labels-out";
+               "--scenario" ] ->
         Error (flag ^ ": missing argument")
     | "--trials" :: v :: rest ->
         let* trials = int_arg "--trials" v in
@@ -128,6 +135,21 @@ let parse args =
               (Printf.sprintf
                  "--labels: unknown label set %S (mediant|farey|bigfrac|lex)" v))
     | "--labels-out" :: v :: rest -> go { acc with labels_out = v } sections rest
+    | "--scenario" :: v :: rest -> (
+        match Sim.Scenario.find v with
+        | Some sc when not (Sim.Scenario.is_adversarial sc) ->
+            go { acc with scenario = sc } sections rest
+        | Some sc ->
+            Error
+              (Printf.sprintf
+                 "--scenario: %S is adversarial, not a benchmarkable \
+                  workload (see manet_sim campaign --scenario)"
+                 sc.Sim.Scenario.name)
+        | None ->
+            Error
+              (Printf.sprintf "--scenario: unknown scenario %S (registered: %s)"
+                 v
+                 (String.concat ", " Sim.Scenario.names)))
     | "--compare-sequential" :: rest ->
         go { acc with compare_sequential = true } sections rest
     | "--full" :: rest -> go { acc with full = true } sections rest

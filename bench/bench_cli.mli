@@ -38,6 +38,11 @@ type t = {
   labels_out : string;
       (** [--labels-out PATH]: where the [labels] section writes its
           four-instance comparison JSON *)
+  scenario : Sim.Scenario.t;
+      (** [--scenario NAME]: workload scenario (mobility + traffic models)
+          the campaign sections run under (default: the paper's
+          random-waypoint + CBR). Unknown names and the adversarial entry
+          come back as [Error] — exit 2 via the driver. *)
 }
 
 val default : t

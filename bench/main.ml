@@ -31,7 +31,8 @@ let base_config opts =
         seed = 1;
       }
   in
-  Sim.Config.with_labels base opts.Bench_cli.labels
+  Sim.Scenario.apply opts.Bench_cli.scenario
+    (Sim.Config.with_labels base opts.Bench_cli.labels)
 
 (* The checkpoint (--resume) only arms on the measured pass: the sequential
    reference pass of --compare-sequential must re-run every cell or its

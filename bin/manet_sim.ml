@@ -41,6 +41,41 @@ let labels_term =
            — wider labels, never resets), or $(b,lex) (lexicographic byte \
            strings). Other protocols ignore it.")
 
+(* --scenario stays a plain string: unknown names must exit 2 with the
+   registry listing (an Arg.conv parse failure would exit 124). *)
+let scenario_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "scenario" ] ~docv:"NAME"
+        ~doc:
+          "Named workload: one name bundles a mobility model, a traffic \
+           model and an optional fault or adversary plan into a seeded, \
+           reproducible scenario. $(b,default) is byte-identical to \
+           running with no scenario at all. An unknown name lists the \
+           registry and exits 2.")
+
+let resolve_scenario cmd name =
+  match Sim.Scenario.find name with
+  | Some sc -> sc
+  | None ->
+      Printf.eprintf
+        "%s: unknown scenario %S\nregistered scenarios: %s\n" cmd name
+        (String.concat ", " Sim.Scenario.names);
+      exit 2
+
+(* workload-only commands (check, fuzz) reject the adversarial entry *)
+let workload_scenario cmd name =
+  let sc = resolve_scenario cmd name in
+  if Sim.Scenario.is_adversarial sc then begin
+    Printf.eprintf
+      "%s: scenario %S is adversarial; use `run --scenario` or `campaign \
+       --scenario` to replay it\n"
+      cmd sc.Sim.Scenario.name;
+    exit 2
+  end;
+  sc
+
 (* --faults switches the whole subsystem on; the knobs below tune it and
    are inert without it. Defaults mirror Faults.Spec.default. *)
 let faults_term =
@@ -240,10 +275,23 @@ let run_cmd =
            this is accepted for interface symmetry with $(b,campaign) and \
            $(b,fuzz) but values above 1 change nothing here."
     and+ prof, prof_out = prof_term
+    and+ scenario = scenario_term
     in
     ignore (jobs : int);
     if prof then Obs.enable ();
     let config = { config with Sim.Config.protocol } in
+    match Option.map (resolve_scenario "run") scenario with
+    | Some sc when Sim.Scenario.is_adversarial sc ->
+        (* replay the van Glabbeek attack for this protocol only: the
+           verdict is the output; exit 1 when the monitor saw a loop *)
+        let v = Sim.Scenario.run_adversarial ~protocol in
+        Format.printf "scenario %s: %s@.%a@." sc.Sim.Scenario.name
+          sc.Sim.Scenario.summary Sim.Scenario.pp_verdict v;
+        if Sim.Scenario.loop_detected v then exit 1
+    | sc ->
+    let config =
+      match sc with Some sc -> Sim.Scenario.apply sc config | None -> config
+    in
     let trace_oc = Option.map open_out trace_file in
     let trace =
       match trace_oc with
@@ -350,8 +398,32 @@ let campaign_cmd =
                (e.g. crash:AODV:0:1, or crash:SRP:0:0@1 to fail only the \
                first attempt). Also read from MANET_SABOTAGE.")
     and+ prof, prof_out = prof_term
+    and+ scenario = scenario_term
     in
     if prof then Obs.enable ();
+    match Option.map (resolve_scenario "campaign") scenario with
+    | Some sc when Sim.Scenario.is_adversarial sc ->
+        (* adversarial campaign: replay the attack against every protocol
+           and print one verdict per line. The suite fails (exit 1) only
+           when SRP — provably loop-free — is caught looping. *)
+        Format.printf "scenario %s: %s@." sc.Sim.Scenario.name
+          sc.Sim.Scenario.summary;
+        let verdicts = Sim.Scenario.run_adversarial_all () in
+        List.iter
+          (fun v -> Format.printf "%a@." Sim.Scenario.pp_verdict v)
+          verdicts;
+        let srp_looped =
+          List.exists
+            (fun v ->
+              v.Sim.Scenario.vprotocol = Sim.Config.Srp
+              && Sim.Scenario.loop_detected v)
+            verdicts
+        in
+        if srp_looped then exit 1
+    | sc ->
+    let config =
+      match sc with Some sc -> Sim.Scenario.apply sc config | None -> config
+    in
     (* live meter only on an interactive stderr: piped/redirected runs
        (CI byte-comparisons included) see exactly the historical stream *)
     let meter =
@@ -438,6 +510,12 @@ let check_cmd =
       Arg.(
         value & opt float 1.0
         & info [ "interval" ] ~doc:"Seconds between invariant sweeps.")
+    and+ scenario = scenario_term
+    in
+    let config =
+      match Option.map (workload_scenario "check") scenario with
+      | Some sc -> Sim.Scenario.apply sc config
+      | None -> config
     in
     (* faulted runs use the online monitor: per-mutation checks against the
        stored successor orderings, robust to post-crash label regression *)
@@ -665,11 +743,25 @@ let fuzz_cmd =
                instance (mediant|farey|bigfrac|lex) instead of the default \
                catalogue, which fuzzes the mediant set plus one \
                model-agreement cell per other instance.")
+    and+ scenario = scenario_term
     in
+    let scenario = Option.map (workload_scenario "fuzz") scenario in
     let fuzz_catalogue =
-      match labels with
-      | None -> fuzz_catalogue
-      | Some id -> Check.Props.all @ Sim.Fuzz.props_for id
+      match (scenario, labels) with
+      | None, None -> fuzz_catalogue
+      | None, Some id -> Check.Props.all @ Sim.Fuzz.props_for id
+      | Some sc, _ ->
+          (* pin the simulation-level cells to the scenario's mobility and
+             traffic models (and --labels, when also given) *)
+          let w =
+            match sc.Sim.Scenario.body with
+            | Sim.Scenario.Workload w -> w
+            | Sim.Scenario.Adversarial -> assert false
+          in
+          Check.Props.all
+          @ Sim.Fuzz.props_pinned ?labels
+              ~mobility:w.Sim.Scenario.mobility
+              ~traffic:w.Sim.Scenario.traffic ()
     in
     if list_props then
       List.iter

@@ -895,3 +895,5 @@ let all =
     prop_wire_model;
     prop_channel_grid;
   ]
+  (* scenario workload models: mobility / traffic invariants *)
+  @ Workload.props

@@ -1,0 +1,429 @@
+(* Shrinkable properties for the scenario workload generators: every
+   mobility model keeps nodes inside the terrain at bounded speed, every
+   traffic model emits a well-formed flow script, and both are
+   byte-deterministic per seed — the invariants the scenario registry's
+   reproducibility story rests on. *)
+
+module M = Wireless.Mobility
+
+(* ------------------------------------------------------------------ *)
+(* Mobility cases: every model crossed with the degenerate corners the
+   waypoint regression fixed — zero speeds, pause = duration, duration 0 *)
+
+type mob_case = {
+  model : M.id;
+  mnodes : int;
+  pause : float;
+  speed_min : float;
+  speed_max : float;
+  mduration : float;
+  width : float;
+  mseed : int;
+}
+
+let mob_print c =
+  Printf.sprintf
+    "%s nodes=%d pause=%.1f speed=[%.1f,%.1f] duration=%.1f width=%.0f seed=%d"
+    (M.name c.model) c.mnodes c.pause c.speed_min c.speed_max c.mduration
+    c.width c.mseed
+
+let mob_case_over models =
+  Gen.bind
+    (Gen.pair (Gen.elements models) (Gen.elements [ 0.0; 6.0; 40.0 ]))
+    (fun (model, mduration) ->
+      Gen.bind
+        (Gen.pair
+           (Gen.elements [ 0.0; 1.0; mduration ])
+           (Gen.elements [ (0.0, 0.0); (0.0, 12.0); (1.0, 20.0); (0.5, 0.5) ]))
+        (fun (pause, (speed_min, speed_max)) ->
+          Gen.map2
+            (fun (mnodes, width) mseed ->
+              {
+                model;
+                mnodes;
+                pause;
+                speed_min;
+                speed_max;
+                mduration;
+                width;
+                mseed;
+              })
+            (Gen.pair (Gen.int_range 1 12) (Gen.elements [ 300.0; 2200.0 ]))
+            (Gen.no_shrink (Gen.int_range 0 1_000_000))))
+
+let mob_case = mob_case_over M.all
+
+let terrain_of c = Wireless.Terrain.make ~width:c.width ~height:300.0
+
+let scripts_of c =
+  M.generate c.model ~terrain:(terrain_of c)
+    ~rng:(Des.Rng.create (Int64.of_int c.mseed))
+    ~nodes:c.mnodes ~pause:c.pause ~speed_min:c.speed_min
+    ~speed_max:c.speed_max ~duration:c.mduration
+
+(* positions are checked on a fixed grid covering the run and beyond it
+   (scripts must also hold still sensibly after [duration]) *)
+let sample_times c =
+  List.init 11 (fun k -> c.mduration *. float_of_int k /. 10.0)
+  @ [ c.mduration +. 5.0 ]
+
+let check_scripts c ~f =
+  let scripts = scripts_of c in
+  let rec node i =
+    if i >= Array.length scripts then Ok ()
+    else
+      let rec at = function
+        | [] -> node (i + 1)
+        | t :: rest -> (
+            match f i scripts.(i) t with Ok () -> at rest | e -> e)
+      in
+      at (sample_times c)
+  in
+  node 0
+
+(* Every model, every configuration (including the degenerate zero-speed
+   and pause = duration corners): positions finite, inside the terrain,
+   and no leg faster than the configured ceiling — the contract the
+   spatial grid's candidate-superset guarantee needs. *)
+let prop_mobility_positions =
+  Runner.cell ~name:"mobility-positions" ~print:mob_print mob_case (fun c ->
+      let terrain = terrain_of c in
+      let eps = 1e-9 in
+      check_scripts c ~f:(fun i script t ->
+          let p = Wireless.Waypoint.position script t in
+          if not (Float.is_finite p.Wireless.Vec2.x && Float.is_finite p.Wireless.Vec2.y)
+          then Error (Printf.sprintf "node %d at t=%.2f: non-finite position" i t)
+          else if
+            p.Wireless.Vec2.x < -.eps
+            || p.Wireless.Vec2.x > terrain.Wireless.Terrain.width +. eps
+            || p.Wireless.Vec2.y < -.eps
+            || p.Wireless.Vec2.y > terrain.Wireless.Terrain.height +. eps
+          then
+            Error
+              (Printf.sprintf "node %d at t=%.2f: (%.2f, %.2f) off-terrain" i
+                 t p.Wireless.Vec2.x p.Wireless.Vec2.y)
+          else
+            let v = Wireless.Waypoint.max_speed script in
+            if v > (c.speed_max *. (1.0 +. 1e-6)) +. 1e-6 then
+              Error
+                (Printf.sprintf "node %d: leg speed %.3f exceeds ceiling %.3f"
+                   i v c.speed_max)
+            else Ok ()))
+
+(* Manhattan keeps every interpolated position on a street line: legs are
+   axis-aligned between intersections, so at any instant at least one
+   coordinate equals a street coordinate exactly. *)
+let prop_manhattan_streets =
+  Runner.cell ~name:"manhattan-on-streets" ~print:mob_print
+    (mob_case_over [ M.Manhattan ])
+    (fun c ->
+      let xs, ys = M.manhattan_streets (terrain_of c) in
+      let on streets v = Array.exists (fun s -> Float.abs (s -. v) <= 1e-6) streets in
+      check_scripts c ~f:(fun i script t ->
+          let p = Wireless.Waypoint.position script t in
+          if on xs p.Wireless.Vec2.x || on ys p.Wireless.Vec2.y then Ok ()
+          else
+            Error
+              (Printf.sprintf "node %d at t=%.2f: (%.2f, %.2f) off-street" i t
+                 p.Wireless.Vec2.x p.Wireless.Vec2.y)))
+
+(* RPGM members never stray beyond the group radius from the reference
+   point they ride — at every instant, not just at leg boundaries. *)
+let prop_rpgm_radius =
+  Runner.cell ~name:"rpgm-group-radius" ~print:mob_print
+    (mob_case_over [ M.Rpgm ])
+    (fun c ->
+      let leaders =
+        M.rpgm_leaders ~terrain:(terrain_of c)
+          ~rng:(Des.Rng.create (Int64.of_int c.mseed))
+          ~nodes:c.mnodes ~pause:c.pause ~speed_min:c.speed_min
+          ~speed_max:c.speed_max ~duration:c.mduration
+      in
+      check_scripts c ~f:(fun i script t ->
+          let member = Wireless.Waypoint.position script t in
+          let leader =
+            Wireless.Waypoint.position leaders.(i / M.group_size) t
+          in
+          let d = Wireless.Vec2.dist member leader in
+          if d <= M.rpgm_radius +. 1e-6 then Ok ()
+          else
+            Error
+              (Printf.sprintf "node %d at t=%.2f: %.2f m from leader (> %.0f)"
+                 i t d M.rpgm_radius)))
+
+(* Churn scripts are parked-relocate-parked: legs never overlap (of_legs
+   enforces continuity) and every relocation runs at a drawn speed inside
+   the configured band. *)
+let prop_churn_relocations =
+  Runner.cell ~name:"churn-relocations" ~print:mob_print
+    (mob_case_over [ M.Churn ])
+    (fun c ->
+      let scripts = scripts_of c in
+      let rec node i =
+        if i >= Array.length scripts then Ok ()
+        else
+          let legs = Wireless.Waypoint.legs scripts.(i) in
+          let bad =
+            List.find_opt
+              (fun (leg : Wireless.Waypoint.leg) ->
+                let travel = leg.Wireless.Waypoint.arrive -. leg.Wireless.Waypoint.depart in
+                if travel <= 0.0 || not (Float.is_finite travel) then false
+                else
+                  let v =
+                    Wireless.Vec2.dist leg.Wireless.Waypoint.from_p
+                      leg.Wireless.Waypoint.to_p
+                    /. travel
+                  in
+                  v < c.speed_min *. (1.0 -. 1e-6) -. 1e-9
+                  || v > (c.speed_max *. (1.0 +. 1e-6)) +. 1e-9)
+              legs
+          in
+          match bad with
+          | Some leg ->
+              Error
+                (Printf.sprintf
+                   "node %d: relocation departing %.2f outside speed band" i
+                   leg.Wireless.Waypoint.depart)
+          | None -> node (i + 1)
+      in
+      node 0)
+
+(* The degenerate waypoint corners the runner hit in the field: pause as
+   long as the whole run, and a [0, 0] speed band. Neither may emit a NaN
+   or hang — the node just never leaves its initial spot. *)
+let prop_waypoint_degenerate =
+  Runner.cell ~name:"waypoint-degenerate" ~print:mob_print
+    (mob_case_over [ M.Waypoint_rw ])
+    (fun c ->
+      let c =
+        (* force the corner: stationary band, pause spanning the run *)
+        { c with speed_min = 0.0; speed_max = 0.0; pause = c.mduration }
+      in
+      check_scripts c ~f:(fun i script t ->
+          let p = Wireless.Waypoint.position script t in
+          let q = Wireless.Waypoint.position script 0.0 in
+          if not (Float.is_finite p.Wireless.Vec2.x && Float.is_finite p.Wireless.Vec2.y)
+          then Error (Printf.sprintf "node %d at t=%.2f: non-finite" i t)
+          else if not (Wireless.Vec2.equal p q) then
+            Error (Printf.sprintf "node %d moved despite zero speed" i)
+          else Ok ()))
+
+(* Byte-determinism: the same seed yields structurally identical scripts,
+   for every model — the scenario registry's reproducibility contract. *)
+let script_obs s =
+  (Wireless.Waypoint.position s 0.0, Wireless.Waypoint.legs s)
+
+let prop_mobility_deterministic =
+  Runner.cell ~name:"mobility-deterministic" ~print:mob_print mob_case
+    (fun c ->
+      let a = Array.map script_obs (scripts_of c) in
+      let b = Array.map script_obs (scripts_of c) in
+      if a = b then Ok ()
+      else Error "same seed produced different mobility scripts")
+
+(* ------------------------------------------------------------------ *)
+(* Traffic cases *)
+
+type traf_case = {
+  tmodel : Traffic.Model.id;
+  tnodes : int;
+  tflows : int;
+  t_until : float;
+  tmean : float;
+  tseed : int;
+}
+
+let traffic_start = 1.0
+
+let traf_print c =
+  Printf.sprintf "%s nodes=%d flows=%d until=%.0f mean=%.0f seed=%d"
+    (Traffic.Model.name c.tmodel) c.tnodes c.tflows c.t_until c.tmean c.tseed
+
+let traf_case_over models =
+  Gen.bind
+    (Gen.pair (Gen.elements models) (Gen.int_range 2 10))
+    (fun (tmodel, tnodes) ->
+      Gen.map2
+        (fun (tflows, (t_until, tmean)) tseed ->
+          { tmodel; tnodes; tflows; t_until; tmean; tseed })
+        (Gen.pair (Gen.int_range 1 5)
+           (Gen.pair (Gen.elements [ 5.0; 20.0 ]) (Gen.elements [ 2.0; 10.0 ])))
+        (Gen.no_shrink (Gen.int_range 0 1_000_000)))
+
+let traf_case = traf_case_over Traffic.Model.all
+
+let flows_of c =
+  Traffic.Model.generate c.tmodel
+    ~rng:(Des.Rng.create (Int64.of_int c.tseed))
+    ~nodes:c.tnodes ~concurrent:c.tflows ~from_time:traffic_start
+    ~until:c.t_until ~mean_duration:c.tmean
+
+(* every model: flows inside the window, endpoints valid, sources distinct
+   from destinations, and byte-deterministic per seed *)
+let well_formed c (f : Traffic.Cbr.flow) =
+  if f.Traffic.Cbr.start < traffic_start -. 1e-9 then
+    Error (Printf.sprintf "flow %d starts before traffic_start" f.Traffic.Cbr.id)
+  else if f.Traffic.Cbr.stop > c.t_until +. 1e-9 then
+    Error (Printf.sprintf "flow %d stops after until" f.Traffic.Cbr.id)
+  else if f.Traffic.Cbr.stop < f.Traffic.Cbr.start then
+    Error (Printf.sprintf "flow %d stops before it starts" f.Traffic.Cbr.id)
+  else if
+    f.Traffic.Cbr.src < 0
+    || f.Traffic.Cbr.src >= c.tnodes
+    || f.Traffic.Cbr.dst < 0
+    || f.Traffic.Cbr.dst >= c.tnodes
+  then Error (Printf.sprintf "flow %d has out-of-range endpoints" f.Traffic.Cbr.id)
+  else if f.Traffic.Cbr.src = f.Traffic.Cbr.dst then
+    Error (Printf.sprintf "flow %d sends to itself" f.Traffic.Cbr.id)
+  else Ok ()
+
+let rec first_error = function
+  | [] -> Ok ()
+  | r :: rest -> ( match r with Ok () -> first_error rest | e -> e)
+
+let prop_traffic_deterministic =
+  Runner.cell ~name:"traffic-deterministic" ~print:traf_print traf_case
+    (fun c ->
+      match first_error (List.map (well_formed c) (flows_of c)) with
+      | Error _ as e -> e
+      | Ok () ->
+          if flows_of c = flows_of c then Ok ()
+          else Error "same seed produced different flow scripts")
+
+(* Convergecast conserves packets into the sink: every flow drains into
+   the fixed sink, and scheduling the script emits the ledger's packet
+   count (minus at most one phase-clipped packet per flow), all of them
+   addressed to the sink. *)
+let prop_convergecast_sink =
+  Runner.cell ~name:"convergecast-sink-conserves" ~print:traf_print
+    (traf_case_over [ Traffic.Model.Convergecast ])
+    (fun c ->
+      let flows = flows_of c in
+      let sink = Traffic.Model.convergecast_sink in
+      let stray =
+        List.find_opt
+          (fun (f : Traffic.Cbr.flow) ->
+            f.Traffic.Cbr.dst <> sink || f.Traffic.Cbr.src = sink)
+          flows
+      in
+      match stray with
+      | Some f ->
+          Error
+            (Printf.sprintf "flow %d (%d->%d) does not drain into sink %d"
+               f.Traffic.Cbr.id f.Traffic.Cbr.src f.Traffic.Cbr.dst sink)
+      | None ->
+          let rate = 4.0 in
+          let engine = Des.Engine.create () in
+          let emitted = ref 0 and off_sink = ref 0 in
+          Traffic.Cbr.schedule engine ~flows ~rate ~size:512
+            ~send:(fun ~src:_ data ~size:_ ->
+              incr emitted;
+              if data.Wireless.Frame.final_dst <> sink then incr off_sink);
+          Des.Engine.run_all engine;
+          let budget = Traffic.Cbr.packet_count ~flows ~rate in
+          if !off_sink > 0 then
+            Error (Printf.sprintf "%d packets addressed off-sink" !off_sink)
+          else if !emitted > budget then
+            Error
+              (Printf.sprintf "emitted %d packets, ledger budget %d" !emitted
+                 budget)
+          else if !emitted < budget - List.length flows then
+            Error
+              (Printf.sprintf
+                 "emitted %d packets, conservation floor %d (budget %d)"
+                 !emitted
+                 (budget - List.length flows)
+                 budget)
+          else Ok ())
+
+(* Bursty chops each conversation into disjoint, time-ordered on-periods
+   that reuse the parent flow id. *)
+let prop_bursty_envelope =
+  Runner.cell ~name:"bursty-envelope" ~print:traf_print
+    (traf_case_over [ Traffic.Model.Bursty ])
+    (fun c ->
+      let flows = flows_of c in
+      match first_error (List.map (well_formed c) flows) with
+      | Error _ as e -> e
+      | Ok () ->
+          let by_id = Hashtbl.create 16 in
+          List.iter
+            (fun (f : Traffic.Cbr.flow) ->
+              let prev =
+                Option.value ~default:[] (Hashtbl.find_opt by_id f.Traffic.Cbr.id)
+              in
+              Hashtbl.replace by_id f.Traffic.Cbr.id (f :: prev))
+            flows;
+          let overlap =
+            Hashtbl.fold
+              (fun id segs acc ->
+                match acc with
+                | Some _ -> acc
+                | None ->
+                    let segs =
+                      List.sort
+                        (fun (a : Traffic.Cbr.flow) b ->
+                          Float.compare a.Traffic.Cbr.start b.Traffic.Cbr.start)
+                        segs
+                    in
+                    let rec scan = function
+                      | a :: (b :: _ as rest) ->
+                          if b.Traffic.Cbr.start < a.Traffic.Cbr.stop -. 1e-9
+                          then Some id
+                          else scan rest
+                      | _ -> None
+                    in
+                    scan segs)
+              by_id None
+          in
+          (match overlap with
+          | Some id ->
+              Error (Printf.sprintf "flow %d bursts overlap in time" id)
+          | None -> Ok ()))
+
+(* Flash-crowd: nothing transmits before the ignition instant, which is
+   replayable from the seed (it is the model's first draw). *)
+let prop_flash_arrival =
+  Runner.cell ~name:"flash-crowd-arrival" ~print:traf_print
+    (traf_case_over [ Traffic.Model.Flash ])
+    (fun c ->
+      let flows = flows_of c in
+      match first_error (List.map (well_formed c) flows) with
+      | Error _ as e -> e
+      | Ok () ->
+          let lo, hi =
+            Traffic.Model.flash_window ~from_time:traffic_start
+              ~until:c.t_until
+          in
+          let flash_at =
+            (* the ignition instant is the model's first draw *)
+            let rng = Des.Rng.create (Int64.of_int c.tseed) in
+            lo +. Des.Rng.float rng (hi -. lo)
+          in
+          let early =
+            List.find_opt
+              (fun (f : Traffic.Cbr.flow) ->
+                f.Traffic.Cbr.start < flash_at -. 1e-9)
+              flows
+          in
+          (match early with
+          | Some f ->
+              Error
+                (Printf.sprintf
+                   "flow %d starts %.3f, before the %.3f ignition"
+                   f.Traffic.Cbr.id f.Traffic.Cbr.start flash_at)
+          | None -> Ok ()))
+
+let props =
+  [
+    prop_mobility_positions;
+    prop_manhattan_streets;
+    prop_rpgm_radius;
+    prop_churn_relocations;
+    prop_waypoint_degenerate;
+    prop_mobility_deterministic;
+    prop_traffic_deterministic;
+    prop_convergecast_sink;
+    prop_bursty_envelope;
+    prop_flash_arrival;
+  ]

@@ -1,0 +1,15 @@
+(** Shrinkable properties over the scenario workload generators — the
+    pluggable mobility models ({!Wireless.Mobility}) and traffic models
+    ({!Traffic.Model}): positions stay finite, in-terrain and
+    speed-bounded under every configuration including the degenerate
+    zero-speed and pause-equals-duration corners; Manhattan positions sit
+    on streets; RPGM members stay within the group radius of their
+    leader; churn relocations respect the speed band; convergecast
+    conserves packets into its sink; bursty on-periods are disjoint;
+    flash-crowd flows never precede the ignition instant; and every model
+    is byte-deterministic per seed.
+
+    Appended to {!Props.all}, so the fuzz catalogue, the seeded CI gate
+    and [manet_sim fuzz] all pick them up. *)
+
+val props : Runner.packed list

@@ -36,6 +36,8 @@ type t = {
   packet_size : int;
   seed : int;
   faults : Faults.Spec.t;
+  mobility : Wireless.Mobility.id;
+  traffic : Traffic.Model.id;
   srp : Protocols.Srp.config;
   aodv : Protocols.Aodv.config;
   ldr : Protocols.Ldr.config;
@@ -60,6 +62,8 @@ let paper =
     packet_size = 512;
     seed = 1;
     faults = Faults.Spec.none;
+    mobility = Wireless.Mobility.default;
+    traffic = Traffic.Model.default;
     srp = Protocols.Srp.default_config;
     aodv = Protocols.Aodv.default_config;
     ldr = Protocols.Ldr.default_config;
@@ -102,11 +106,15 @@ let to_json (t : t) =
       ("seed", J.Int t.seed);
       ("faults", J.Bool (not (Faults.Spec.is_none t.faults)));
     ]
+    (* conditional members: default-instance exports stay byte-identical *)
+    @ (if t.srp.Protocols.Srp.labels = Slr.Label_set.default then []
+       else
+         [ ("labels", J.String (Slr.Label_set.name t.srp.Protocols.Srp.labels)) ])
+    @ (if t.mobility = Wireless.Mobility.default then []
+       else [ ("mobility", J.String (Wireless.Mobility.name t.mobility)) ])
     @
-    (* conditional member: default-instance exports stay byte-identical *)
-    if t.srp.Protocols.Srp.labels = Slr.Label_set.default then []
-    else
-      [ ("labels", J.String (Slr.Label_set.name t.srp.Protocols.Srp.labels)) ])
+    if t.traffic = Traffic.Model.default then []
+    else [ ("traffic", J.String (Traffic.Model.name t.traffic)) ])
 
 let with_protocol t protocol = { t with protocol }
 
@@ -120,3 +128,7 @@ let with_pause t pause = { t with pause }
 let with_seed t seed = { t with seed }
 
 let with_faults t faults = { t with faults }
+
+let with_mobility t mobility = { t with mobility }
+
+let with_traffic t traffic = { t with traffic }

@@ -33,6 +33,12 @@ type t = {
       (** fault-injection schedule; {!Faults.Spec.none} (the default in every
           preset) bypasses the whole subsystem so clean runs are bitwise
           identical to pre-fault builds *)
+  mobility : Wireless.Mobility.id;
+      (** mobility-model instance; the default ({!Wireless.Mobility.default},
+          random waypoint) reproduces the historical runner byte-for-byte *)
+  traffic : Traffic.Model.id;
+      (** traffic-model instance; the default ({!Traffic.Model.default}, CBR)
+          reproduces the historical runner byte-for-byte *)
   srp : Protocols.Srp.config;  (** protocol tuning (ablation benches) *)
   aodv : Protocols.Aodv.config;
   ldr : Protocols.Ldr.config;
@@ -59,10 +65,11 @@ val small : t
 val paper_pause_times : float list
 
 (** Scalar scenario parameters as a flat JSON object (protocol tuning
-    records are omitted; [faults] reduces to whether a plan is present; a
-    ["labels"] member names the label-set instance, emitted only when it is
-    not the default mediant set). Embedded in every [--json] export so a
-    result file is self-describing. *)
+    records are omitted; [faults] reduces to whether a plan is present;
+    ["labels"], ["mobility"] and ["traffic"] members name the respective
+    pluggable instances and are emitted only when not the default, so
+    default-configuration exports stay byte-identical across releases).
+    Embedded in every [--json] export so a result file is self-describing. *)
 val to_json : t -> Trace.Json.t
 
 val with_protocol : t -> protocol -> t
@@ -79,3 +86,7 @@ val with_pause : t -> float -> t
 val with_seed : t -> int -> t
 
 val with_faults : t -> Faults.Spec.t -> t
+
+val with_mobility : t -> Wireless.Mobility.id -> t
+
+val with_traffic : t -> Traffic.Model.id -> t

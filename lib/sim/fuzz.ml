@@ -19,6 +19,8 @@ type sim_case = {
   sim_seed : int;
   faults : Faults.Spec.t;
   labels : Slr.Label_set.id;
+  mobility : Wireless.Mobility.id;
+  traffic : Traffic.Model.id;
 }
 
 let to_config c =
@@ -38,10 +40,16 @@ let to_config c =
       pause = c.pause;
       seed = c.sim_seed;
       faults = c.faults;
+      mobility = c.mobility;
+      traffic = c.traffic;
     }
     c.labels
 
-let case_gen ?(labels = Gen.pure Slr.Label_set.default) ~protocol ~faults () =
+(* mobility/traffic are pinned values, not generators: applied by a
+   draw-free map so the default catalogue's case streams are unchanged *)
+let case_gen ?(labels = Gen.pure Slr.Label_set.default)
+    ?(mobility = Wireless.Mobility.default) ?(traffic = Traffic.Model.default)
+    ~protocol ~faults () =
   Gen.bind protocol (fun protocol ->
       Gen.bind faults (fun faults ->
           Gen.bind labels (fun labels ->
@@ -56,6 +64,8 @@ let case_gen ?(labels = Gen.pure Slr.Label_set.default) ~protocol ~faults () =
                     sim_seed;
                     faults;
                     labels;
+                    mobility;
+                    traffic;
                   })
                 (Gen.pair (Gen.int_range 8 14) (Gen.int_range 2 4))
                 (Gen.triple
@@ -69,7 +79,11 @@ let pp_case ppf c =
     (Config.protocol_name c.protocol)
     c.nodes c.duration c.flows c.pause c.sim_seed Faults.Spec.pp c.faults;
   if c.labels <> Slr.Label_set.default then
-    Format.fprintf ppf " labels=%s" (Slr.Label_set.name c.labels)
+    Format.fprintf ppf " labels=%s" (Slr.Label_set.name c.labels);
+  if c.mobility <> Wireless.Mobility.default then
+    Format.fprintf ppf " mobility=%s" (Wireless.Mobility.name c.mobility);
+  if c.traffic <> Traffic.Model.default then
+    Format.fprintf ppf " traffic=%s" (Traffic.Model.name c.traffic)
 
 let print_case = asprintf "%a" pp_case
 
@@ -114,9 +128,9 @@ let sim_model_law c =
     Ok ()
   with Model_violation m -> Error m
 
-let prop_sim_model_with ?(name = "srp-sim-model") labels =
+let prop_sim_model_with ?(name = "srp-sim-model") ?mobility ?traffic labels =
   Runner_c.cell ~cost:10 ~name ~print:print_case
-    (case_gen ~labels
+    (case_gen ~labels ?mobility ?traffic
        ~protocol:(Gen.pure Config.Srp)
        ~faults:
          (Gen.frequency
@@ -247,9 +261,10 @@ let conservation_law c =
              dropped_only)
       else Ok ()
 
-let prop_conservation_with ?(name = "metrics-conservation") labels =
+let prop_conservation_with ?(name = "metrics-conservation") ?mobility ?traffic
+    labels =
   Runner_c.cell ~cost:10 ~name ~print:print_case
-    (case_gen ~labels
+    (case_gen ~labels ?mobility ?traffic
        ~protocol:(Gen.elements Config.all_protocols)
        ~faults:
          (Gen.frequency
@@ -271,9 +286,9 @@ let prop_conservation =
 
 type resume_case = { base_case : sim_case; trials : int; cut : int }
 
-let resume_case_gen ?labels () =
+let resume_case_gen ?labels ?mobility ?traffic () =
   Gen.bind
-    (case_gen ?labels
+    (case_gen ?labels ?mobility ?traffic
        ~protocol:(Gen.elements Config.all_protocols)
        ~faults:(Gen.pure Faults.Spec.none) ())
     (fun base_case ->
@@ -327,9 +342,10 @@ let resume_equiv_law c =
         else Ok ()
       end)
 
-let prop_resume_equiv_with ?(name = "campaign-resume-equiv") labels =
+let prop_resume_equiv_with ?(name = "campaign-resume-equiv") ?mobility
+    ?traffic labels =
   Runner_c.cell ~cost:10 ~name ~print:print_resume_case
-    (resume_case_gen ~labels ())
+    (resume_case_gen ~labels ?mobility ?traffic ())
     resume_equiv_law
 
 let prop_resume_equiv =
@@ -351,4 +367,15 @@ let props_for id =
     prop_sim_model_with labels;
     prop_conservation_with labels;
     prop_resume_equiv_with labels;
+  ]
+
+(* `manet_sim fuzz --scenario <name>`: the core catalogue with every
+   generated case pinned to the scenario's mobility and traffic models
+   (cell names unchanged, so --prop/--replay stay stable). *)
+let props_pinned ?(labels = Slr.Label_set.default) ~mobility ~traffic () =
+  let labels = Gen.pure labels in
+  [
+    prop_sim_model_with ~mobility ~traffic labels;
+    prop_conservation_with ~mobility ~traffic labels;
+    prop_resume_equiv_with ~mobility ~traffic labels;
   ]

@@ -30,11 +30,10 @@ let run_custom_detailed ?(on_faults = fun (_ : Faults.Injector.t) -> ())
   let mobility_rng = Des.Rng.split root "mobility" in
   let traffic_rng = Des.Rng.split root "traffic" in
   let scripts =
-    Array.init config.nodes (fun i ->
-        Wireless.Waypoint.generate ~terrain:config.terrain
-          ~rng:(Des.Rng.split mobility_rng (string_of_int i))
-          ~pause:config.pause ~speed_min:config.speed_min
-          ~speed_max:config.speed_max ~duration:config.duration)
+    Wireless.Mobility.generate config.mobility ~terrain:config.terrain
+      ~rng:mobility_rng ~nodes:config.nodes ~pause:config.pause
+      ~speed_min:config.speed_min ~speed_max:config.speed_max
+      ~duration:config.duration
   in
   let position i time = Wireless.Waypoint.position scripts.(i) time in
   let channel =
@@ -177,7 +176,7 @@ let run_custom_detailed ?(on_faults = fun (_ : Faults.Injector.t) -> ())
         (fun acc mac -> acc + Wireless.Mac80211.queue_length mac)
         0 macs);
   let flows =
-    Traffic.Cbr.generate ~rng:traffic_rng ~nodes:config.nodes
+    Traffic.Model.generate config.traffic ~rng:traffic_rng ~nodes:config.nodes
       ~concurrent:config.flows ~from_time:config.traffic_start
       ~until:config.duration ~mean_duration:config.flow_mean_duration
   in

@@ -3,24 +3,48 @@ type leg = { depart : float; arrive : float; from_p : Vec2.t; to_p : Vec2.t }
 type t = { initial : Vec2.t; legs : leg array }
 
 let generate ~terrain ~rng ~pause ~speed_min ~speed_max ~duration =
-  if speed_min <= 0.0 || speed_max < speed_min then
-    invalid_arg "Waypoint.generate: need 0 < speed_min <= speed_max";
+  if speed_min < 0.0 || speed_max < speed_min then
+    invalid_arg "Waypoint.generate: need 0 <= speed_min <= speed_max";
   if pause < 0.0 then invalid_arg "Waypoint.generate: negative pause";
   let initial = Terrain.random_point terrain rng in
-  let rec build time pos acc =
-    if time >= duration then List.rev acc
-    else begin
-      let depart = time +. pause in
-      let dest = Terrain.random_point terrain rng in
-      let speed = Des.Rng.uniform rng ~lo:speed_min ~hi:speed_max in
-      let travel = Vec2.dist pos dest /. speed in
-      let leg = { depart; arrive = depart +. travel; from_p = pos; to_p = dest } in
-      build leg.arrive dest (leg :: acc)
-    end
-  in
-  { initial; legs = Array.of_list (build 0.0 initial []) }
+  if speed_max <= 0.0 then { initial; legs = [||] }
+  else
+    let rec build time pos acc =
+      if time >= duration then List.rev acc
+      else begin
+        let depart = time +. pause in
+        let dest = Terrain.random_point terrain rng in
+        let speed = Des.Rng.uniform rng ~lo:speed_min ~hi:speed_max in
+        (* speed can be 0 when speed_min is 0: the node freezes for the
+           rest of the run. An infinite arrival keeps every later time on
+           this leg with frac = finite/inf = 0, never 0/0. *)
+        let travel =
+          if speed > 0.0 then Vec2.dist pos dest /. speed else infinity
+        in
+        let leg =
+          { depart; arrive = depart +. travel; from_p = pos; to_p = dest }
+        in
+        build leg.arrive dest (leg :: acc)
+      end
+    in
+    { initial; legs = Array.of_list (build 0.0 initial []) }
 
 let stationary p = { initial = p; legs = [||] }
+
+let of_legs ~initial legs =
+  let rec check prev_arrive prev_to = function
+    | [] -> ()
+    | leg :: rest ->
+        if leg.depart < prev_arrive then
+          invalid_arg "Waypoint.of_legs: legs overlap";
+        if leg.arrive < leg.depart then
+          invalid_arg "Waypoint.of_legs: leg arrives before it departs";
+        if not (Vec2.equal leg.from_p prev_to) then
+          invalid_arg "Waypoint.of_legs: leg discontinuous with predecessor";
+        check leg.arrive leg.to_p rest
+  in
+  check 0.0 initial legs;
+  { initial; legs = Array.of_list legs }
 
 let position t time =
   let n = Array.length t.legs in

@@ -18,7 +18,14 @@ type t
 
 (** [generate ~terrain ~rng ~pause ~speed_min ~speed_max ~duration] builds
     one node's movement script covering at least [0, duration].
-    @raise Invalid_argument on non-positive speeds or [speed_min > speed_max]. *)
+
+    Degenerate configurations stay well-defined: [speed_max = 0] yields a
+    stationary script, and a leg that draws speed 0 (possible when
+    [speed_min = 0]) freezes the node in place for the rest of the run —
+    every emitted position is finite and inside the terrain whatever the
+    (pause, speed, duration) combination.
+    @raise Invalid_argument on negative speeds, [speed_min > speed_max] or
+    a negative pause. *)
 val generate :
   terrain:Terrain.t ->
   rng:Des.Rng.t ->
@@ -30,6 +37,14 @@ val generate :
 
 (** A script that never moves — for static scenarios and tests. *)
 val stationary : Vec2.t -> t
+
+(** [of_legs ~initial legs] builds a script from explicit legs — the entry
+    point for the non-waypoint mobility models ({!Mobility}), which lay out
+    their own piecewise-linear trajectories. Legs must be in time order,
+    non-overlapping, and continuous ([from_p] of each leg equals the
+    previous leg's [to_p], the first one equals [initial]).
+    @raise Invalid_argument otherwise. *)
+val of_legs : initial:Vec2.t -> leg list -> t
 
 (** Position at time [t >= 0]; constant after the script's last leg. *)
 val position : t -> float -> Vec2.t

@@ -67,6 +67,44 @@ done
 # a non-default instance (the identical Ordering-Criteria oracle applies)
 dune exec bin/manet_sim.exe -- fuzz --max-cases 25 --seed 7 --labels bigfrac
 
+# scenario smoke: the default scenario must reproduce the committed golden
+# bytes (the registry refactor is free on the paper's workload), an unknown
+# name must exit 2 with the registry listing, and every workload scenario
+# must complete a small campaign plus an SRP run under the online
+# loop-freedom monitor
+dune exec bin/manet_sim.exe -- campaign --scenario default --nodes 20 \
+  --duration 10 --trials 1 --flows 3 --quiet \
+  --json "$tmp/campaign_scenario.json" > "$tmp/campaign_scenario.txt" \
+  2> /dev/null
+cmp "$tmp/campaign_scenario.json" scripts/golden/campaign_default.json
+cmp "$tmp/campaign_scenario.txt" scripts/golden/campaign_default.txt
+if dune exec bin/manet_sim.exe -- run --scenario no-such-scenario \
+  > /dev/null 2> "$tmp/scenario_err.txt"; then
+  echo "check.sh: unknown --scenario did not fail" >&2
+  exit 1
+fi
+grep -q "registered scenarios:" "$tmp/scenario_err.txt"
+for scenario in manhattan rpgm churn bursty convergecast flash-crowd \
+  downtown hostile; do
+  dune exec bin/manet_sim.exe -- campaign --scenario "$scenario" --nodes 16 \
+    --duration 18 --trials 1 --flows 2 --quiet \
+    --json "$tmp/campaign_scenario.json" > /dev/null 2> /dev/null
+  grep -q '"protocol"' "$tmp/campaign_scenario.json"
+  dune exec bin/manet_sim.exe -- check --scenario "$scenario" --nodes 20 \
+    --duration 25 --flows 3 > /dev/null
+done
+# ... the fixed-seed fuzz catalogue must hold with simulation cells pinned
+# to a non-default scenario's mobility + traffic models
+dune exec bin/manet_sim.exe -- fuzz --max-cases 25 --seed 7 \
+  --scenario downtown
+
+# adversarial smoke: the van Glabbeek replay plus forged stale route reply
+# must catch AODV looping while SRP stays green under its reference model
+dune exec bin/manet_sim.exe -- campaign --scenario vg-forged-rrep \
+  > "$tmp/adversarial.txt" 2> /dev/null
+grep -q "^AODV  LOOP" "$tmp/adversarial.txt"
+grep -q "^SRP   ok" "$tmp/adversarial.txt"
+
 # throughput regression gate: rerun the committed baseline's reduced
 # campaign (same flags as the BENCH_campaign.json snapshot) and fail when
 # perf.events_per_sec_per_job drops below 75% of the committed number

@@ -80,6 +80,28 @@ let test_missing_argument () =
   ignore (err [ "--out" ]);
   ignore (err [ "--check-regression" ])
 
+let test_scenario_flag () =
+  Alcotest.(check string) "default scenario" "default"
+    (ok []).Bench_cli.scenario.Sim.Scenario.name;
+  let opts = ok [ "--scenario"; "downtown"; "campaign" ] in
+  Alcotest.(check string) "named workload accepted" "downtown"
+    opts.Bench_cli.scenario.Sim.Scenario.name;
+  ignore (err [ "--scenario" ]);
+  let unknown = err [ "--scenario"; "nope" ] in
+  Alcotest.(check bool) "unknown name lists the registry" true
+    (String.length unknown > 0
+    && List.for_all
+         (fun n ->
+           let nl = String.length n and hl = String.length unknown in
+           let rec scan i =
+             i + nl <= hl && (String.sub unknown i nl = n || scan (i + 1))
+           in
+           scan 0)
+         Sim.Scenario.names);
+  let adversarial = err [ "--scenario"; "vg-forged-rrep" ] in
+  Alcotest.(check bool) "adversarial entry rejected" true
+    (String.length adversarial > 0)
+
 let test_unknown_inputs () =
   let m = err [ "--frobnicate" ] in
   Alcotest.(check bool) "names the flag" true
@@ -98,5 +120,6 @@ let () =
           Alcotest.test_case "malformed numbers" `Quick test_malformed_numbers;
           Alcotest.test_case "missing argument" `Quick test_missing_argument;
           Alcotest.test_case "unknown flag/section" `Quick test_unknown_inputs;
+          Alcotest.test_case "scenario flag" `Quick test_scenario_flag;
         ] );
     ]

@@ -80,6 +80,31 @@ let test_waypoint_pause_900_is_static () =
   Alcotest.(check bool) "no movement within the run" true
     (V.equal p0 (W.position s 899.9))
 
+(* regression: pause = duration with speed range [0, 0] used to divide by
+   zero when picking a leg speed — every position must stay finite,
+   in-bounds, and pinned to the initial point *)
+let test_waypoint_degenerate_speed () =
+  List.iter
+    (fun (pause, duration) ->
+      let s =
+        W.generate ~terrain:T.paper
+          ~rng:(Des.Rng.create 23L)
+          ~pause ~speed_min:0.0 ~speed_max:0.0 ~duration
+      in
+      let p0 = W.position s 0.0 in
+      Alcotest.(check bool) "initial position finite" true
+        (Float.is_finite p0.V.x && Float.is_finite p0.V.y);
+      List.iter
+        (fun t ->
+          let p = W.position s t in
+          Alcotest.(check bool) "position finite (no NaN)" true
+            (Float.is_finite p.V.x && Float.is_finite p.V.y);
+          Alcotest.(check bool) "position on terrain" true
+            (T.contains T.paper p);
+          Alcotest.(check bool) "zero speed never moves" true (V.equal p0 p))
+        [ 0.0; pause /. 2.0; pause; duration; duration +. 10.0 ])
+    [ (300.0, 300.0); (0.0, 300.0); (900.0, 100.0) ]
+
 let test_waypoint_deterministic () =
   let a = generate_script ~seed:5L () and b = generate_script ~seed:5L () in
   Alcotest.(check bool) "same seed same trajectory" true
@@ -413,6 +438,8 @@ let () =
           Alcotest.test_case "stationary" `Quick test_waypoint_stationary;
           Alcotest.test_case "kinematics" `Quick test_waypoint_kinematics;
           Alcotest.test_case "pause 900 static" `Quick test_waypoint_pause_900_is_static;
+          Alcotest.test_case "degenerate speed range" `Quick
+            test_waypoint_degenerate_speed;
           Alcotest.test_case "deterministic" `Quick test_waypoint_deterministic;
         ] );
       ( "radio",
