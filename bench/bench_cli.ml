@@ -18,6 +18,10 @@ type t = {
   labels : Slr.Label_set.id;
   labels_out : string;
   scenario : Sim.Scenario.t;
+  scale : Sim.Config.scale option;
+  channel : Sim.Config.channel;
+  scale_out : string;
+  scale_baseline : string option;
 }
 
 let default =
@@ -41,11 +45,15 @@ let default =
     labels = Slr.Label_set.default;
     labels_out = "BENCH_labels.json";
     scenario = Sim.Scenario.default;
+    scale = None;
+    channel = Sim.Config.Grid;
+    scale_out = "BENCH_scale.json";
+    scale_baseline = None;
   }
 
 let known_sections =
   [ "table1"; "fig3"; "fig4"; "fig5"; "fig6"; "fig7"; "campaign"; "micro";
-    "ablation"; "labels"; "all" ]
+    "ablation"; "labels"; "scale"; "all" ]
 
 let usage =
   "usage: main.exe [SECTION ...] [--trials N] [--duration S] [--flows N]\n\
@@ -53,7 +61,8 @@ let usage =
   \       [--check-regression PATH] [--compare-sequential]\n\
   \       [--resume PATH] [--cell-timeout S] [--retries N] [--fail-fast]\n\
   \       [--prof] [--prof-out PATH] [--labels SET] [--labels-out PATH]\n\
-  \       [--scenario NAME]\n\
+  \       [--scenario NAME] [--scale PRESET] [--channel grid|naive]\n\
+  \       [--scale-out PATH] [--check-scale-regression PATH]\n\
    sections: " ^ String.concat " " known_sections ^ " (default: all)\n\
    -j N farms campaign cells over N domains; results are byte-identical\n\
    whatever N is. --check-regression compares fresh throughput against the\n\
@@ -70,7 +79,15 @@ let usage =
    the comparison to --labels-out (default BENCH_labels.json).\n\
    --scenario NAME pins the campaign sections to a registered workload\n\
    scenario (mobility + traffic models); the adversarial entry is not a\n\
-   benchmarkable workload and is rejected."
+   benchmarkable workload and is rejected.\n\
+   --scale PRESET overlays a kilonode preset (100|1k|5k: nodes, terrain\n\
+   and flows at the paper's node density) on the campaign sections; the\n\
+   scale section ignores it and always sweeps all three presets on SRP\n\
+   runs, writing events/s per preset to --scale-out (default\n\
+   BENCH_scale.json). --check-scale-regression compares the fresh sweep\n\
+   against the per-scale events_per_sec in PATH and exits 3 when any\n\
+   preset falls below 75% of its committed number. --channel naive swaps\n\
+   the spatial-hash neighbour sweep for the O(n^2) oracle scan."
 
 let ( let* ) = Result.bind
 
@@ -95,7 +112,8 @@ let parse args =
              [ "--trials"; "--duration"; "--flows"; "--jobs"; "-j";
                "--check-regression"; "--out"; "--resume"; "--cell-timeout";
                "--retries"; "--prof-out"; "--labels"; "--labels-out";
-               "--scenario" ] ->
+               "--scenario"; "--scale"; "--channel"; "--scale-out";
+               "--check-scale-regression" ] ->
         Error (flag ^ ": missing argument")
     | "--trials" :: v :: rest ->
         let* trials = int_arg "--trials" v in
@@ -150,6 +168,22 @@ let parse args =
               (Printf.sprintf "--scenario: unknown scenario %S (registered: %s)"
                  v
                  (String.concat ", " Sim.Scenario.names)))
+    | "--scale" :: v :: rest -> (
+        match Sim.Config.scale_of_name v with
+        | Some s -> go { acc with scale = Some s } sections rest
+        | None ->
+            Error
+              (Printf.sprintf "--scale: unknown preset %S (choices: %s)" v
+                 (String.concat ", " Sim.Config.scale_names)))
+    | "--channel" :: v :: rest -> (
+        match Sim.Config.channel_of_name v with
+        | Some channel -> go { acc with channel } sections rest
+        | None ->
+            Error
+              (Printf.sprintf "--channel: unknown channel %S (grid|naive)" v))
+    | "--scale-out" :: v :: rest -> go { acc with scale_out = v } sections rest
+    | "--check-scale-regression" :: v :: rest ->
+        go { acc with scale_baseline = Some v } sections rest
     | "--compare-sequential" :: rest ->
         go { acc with compare_sequential = true } sections rest
     | "--full" :: rest -> go { acc with full = true } sections rest

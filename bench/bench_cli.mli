@@ -43,6 +43,21 @@ type t = {
           the campaign sections run under (default: the paper's
           random-waypoint + CBR). Unknown names and the adversarial entry
           come back as [Error] — exit 2 via the driver. *)
+  scale : Sim.Config.scale option;
+      (** [--scale PRESET]: overlay a kilonode preset (100|1k|5k) on the
+          campaign sections. Unknown presets come back as [Error] listing
+          the choices — exit 2 via the driver. The scale section ignores
+          this and always sweeps all three presets. *)
+  channel : Sim.Config.channel;
+      (** [--channel grid|naive]: neighbour-sweep path for every measured
+          run (default grid; naive is the O(n²) oracle scan) *)
+  scale_out : string;
+      (** [--scale-out PATH]: where the scale section writes its per-preset
+          events/s sweep (default BENCH_scale.json) *)
+  scale_baseline : string option;
+      (** [--check-scale-regression PATH]: compare the fresh scale sweep
+          against the per-preset [events_per_sec] committed in PATH; exit 3
+          when any preset falls below 75% of its baseline *)
 }
 
 val default : t

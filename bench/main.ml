@@ -31,6 +31,12 @@ let base_config opts =
         seed = 1;
       }
   in
+  let base = Sim.Config.with_channel base opts.Bench_cli.channel in
+  let base =
+    match opts.Bench_cli.scale with
+    | Some s -> Sim.Config.apply_scale s base
+    | None -> base
+  in
   Sim.Scenario.apply opts.Bench_cli.scenario
     (Sim.Config.with_labels base opts.Bench_cli.labels)
 
@@ -452,8 +458,139 @@ let labels_showdown opts =
   Format.printf "label-set comparison written to %s@." opts.Bench_cli.labels_out
 
 (* ------------------------------------------------------------------ *)
+(* Scale sweep (E11): engine throughput at the paper's 100 nodes and the
+   1k/5k kilonode presets, one SRP run per preset at pause 0. Simulated
+   horizons shrink with the preset so the sweep stays a couple of minutes
+   of wall clock while every run still executes millions of events; the
+   horizon is part of the committed JSON, so the regression gate always
+   compares like with like. *)
+
+(* events/s at t < traffic_start would measure an idle hello mesh; pull
+   the flows in so even the shortest horizon is mostly loaded *)
+let scale_traffic_start = 5.0
+
+let scale_duration (s : Sim.Config.scale) =
+  match s.Sim.Config.scale_name with
+  | "100" -> 60.0
+  | "1k" -> 20.0
+  | _ -> 8.0
+
+let scale_sweep opts =
+  Format.printf "@.=== scale sweep: events/s at %s nodes (E11) ===@."
+    (String.concat "/" Sim.Config.scale_names);
+  let run_preset (s : Sim.Config.scale) =
+    let config =
+      Sim.Config.apply_scale s
+        {
+          Sim.Config.reproduction with
+          duration = scale_duration s;
+          traffic_start = scale_traffic_start;
+          seed = 1;
+          pause = 0.0;
+          protocol = Sim.Config.Srp;
+          channel = opts.Bench_cli.channel;
+        }
+    in
+    let config = Sim.Config.with_labels config opts.Bench_cli.labels in
+    if not opts.Bench_cli.quiet then
+      Format.eprintf "scale %s: %d nodes, %d flows, %.0f s ...@."
+        s.Sim.Config.scale_name config.Sim.Config.nodes
+        config.Sim.Config.flows config.Sim.Config.duration;
+    let started = Unix.gettimeofday () in
+    let r = Sim.Runner.run config in
+    let wall = Unix.gettimeofday () -. started in
+    let events = r.Sim.Metrics.engine_events in
+    let eps = if wall > 0.0 then float_of_int events /. wall else 0.0 in
+    Format.printf
+      "%-4s %5d nodes  %4d flows  %5.0f s sim  %8.1f s wall  %9d events  \
+       %8.0f events/s  delivery %5.3f@."
+      s.Sim.Config.scale_name config.Sim.Config.nodes config.Sim.Config.flows
+      config.Sim.Config.duration wall events eps
+      r.Sim.Metrics.delivery_ratio;
+    J.Obj
+      [
+        ("scale", J.String s.Sim.Config.scale_name);
+        ("nodes", J.Int config.Sim.Config.nodes);
+        ("flows", J.Int config.Sim.Config.flows);
+        ("terrain_width", J.Float config.Sim.Config.terrain.Wireless.Terrain.width);
+        ("terrain_height", J.Float config.Sim.Config.terrain.Wireless.Terrain.height);
+        ("duration", J.Float config.Sim.Config.duration);
+        ("traffic_start", J.Float config.Sim.Config.traffic_start);
+        ("channel", J.String (Sim.Config.channel_name config.Sim.Config.channel));
+        ("engine_events", J.Int events);
+        ("wall_seconds", J.Float wall);
+        ("events_per_sec", J.Float eps);
+        ("delivery_ratio", J.Float r.Sim.Metrics.delivery_ratio);
+        ("network_load", J.Float r.Sim.Metrics.network_load);
+        ("latency", J.Float r.Sim.Metrics.latency);
+      ]
+  in
+  let sweep = List.map run_preset Sim.Config.scales in
+  let json = J.Obj [ ("schema", J.String "bench-scale/1"); ("scales", J.List sweep) ] in
+  let oc = open_out opts.Bench_cli.scale_out in
+  output_string oc (J.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Format.printf "scale sweep written to %s@." opts.Bench_cli.scale_out;
+  json
+
+(* per-preset twin of {!regression_gate}: every scale's fresh events/s
+   must hold 75% of its committed number — a kilonode-only slowdown must
+   not hide behind a healthy 100-node figure *)
+let scale_regression_gate ~baseline_path ~baseline_contents ~fresh_json =
+  let fail msg =
+    Format.eprintf "scale regression gate: %s@." msg;
+    exit 2
+  in
+  let baseline =
+    match J.parse baseline_contents with
+    | Ok j -> j
+    | Error e -> fail (baseline_path ^ ": " ^ e)
+  in
+  let rates who j =
+    match J.member "scales" j with
+    | Some (J.List presets) ->
+        List.filter_map
+          (fun p ->
+            match (J.member "scale" p, J.member "events_per_sec" p) with
+            | Some (J.String name), Some (J.Float eps) -> Some (name, eps)
+            | Some (J.String name), Some (J.Int eps) ->
+                Some (name, float_of_int eps)
+            | _ -> None)
+          presets
+    | _ -> fail (who ^ ": missing scales list")
+  in
+  let base_rates = rates baseline_path baseline in
+  let fresh_rates = rates "fresh sweep" fresh_json in
+  let failed =
+    List.filter_map
+      (fun (name, base) ->
+        match List.assoc_opt name fresh_rates with
+        | None -> Some (name, base, 0.0)
+        | Some fresh ->
+            let floor = 0.75 *. base in
+            Format.printf
+              "scale regression gate: %s fresh %.0f events/s vs baseline \
+               %.0f (floor %.0f)@."
+              name fresh base floor;
+            if fresh < floor then Some (name, base, fresh) else None)
+      base_rates
+  in
+  match failed with
+  | [] -> ()
+  | (name, base, fresh) :: _ ->
+      Format.eprintf
+        "scale regression gate FAILED: %s at %.0f events/s is below 75%% of \
+         the committed baseline %.0f@."
+        name fresh base;
+      exit 3
+
+(* ------------------------------------------------------------------ *)
 
 let () =
+  (* same GC posture as manet_sim, so bench figures match CLI runs *)
+  Gc.set
+    { (Gc.get ()) with Gc.minor_heap_size = 2048 * 1024; space_overhead = 200 };
   let opts =
     match Bench_cli.parse (List.tl (Array.to_list Sys.argv)) with
     | Ok opts -> opts
@@ -543,4 +680,27 @@ let () =
     ablation_srp_knobs opts
   end;
   if wants opts "labels" then labels_showdown opts;
+  if wants opts "scale" then begin
+    (* snapshot the baseline before the sweep: --scale-out may point at
+       the same file, and the gate must compare against the committed
+       figures, not the bytes the sweep just wrote *)
+    let baseline =
+      Option.map
+        (fun baseline_path ->
+          match
+            try Ok (In_channel.with_open_text baseline_path In_channel.input_all)
+            with Sys_error e -> Error e
+          with
+          | Ok contents -> (baseline_path, contents)
+          | Error e ->
+              Format.eprintf "scale regression gate: %s@." e;
+              exit 2)
+        opts.Bench_cli.scale_baseline
+    in
+    let fresh_json = scale_sweep opts in
+    match baseline with
+    | Some (baseline_path, baseline_contents) ->
+        scale_regression_gate ~baseline_path ~baseline_contents ~fresh_json
+    | None -> ()
+  end;
   Format.printf "@.total wall time: %.1f s@." (Unix.gettimeofday () -. t0)

@@ -41,8 +41,28 @@ let labels_term =
            — wider labels, never resets), or $(b,lex) (lexicographic byte \
            strings). Other protocols ignore it.")
 
-(* --scenario stays a plain string: unknown names must exit 2 with the
-   registry listing (an Arg.conv parse failure would exit 124). *)
+let channel_conv =
+  let parse s =
+    match Sim.Config.channel_of_name s with
+    | Some c -> Ok c
+    | None -> Error (`Msg (Printf.sprintf "unknown channel %S (grid|naive)" s))
+  in
+  let print ppf c = Format.pp_print_string ppf (Sim.Config.channel_name c) in
+  Arg.conv (parse, print)
+
+let channel_term =
+  Arg.(
+    value
+    & opt channel_conv Sim.Config.Grid
+    & info [ "channel" ] ~docv:"PATH"
+        ~doc:
+          "Neighbour-sweep implementation: $(b,grid) (spatial hash, the \
+           default) or $(b,naive) (the O(n²) full scan kept as the \
+           property-tested oracle). The two are observationally identical; \
+           only wall-clock speed differs.")
+
+(* --scenario and --scale stay plain strings: unknown names must exit 2
+   with the registry listing (an Arg.conv parse failure would exit 124). *)
 let scenario_term =
   Arg.(
     value
@@ -54,6 +74,30 @@ let scenario_term =
            reproducible scenario. $(b,default) is byte-identical to \
            running with no scenario at all. An unknown name lists the \
            registry and exits 2.")
+
+let scale_term =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "scale" ] ~docv:"PRESET"
+        ~doc:
+          "Scale preset: node count, terrain and flow count at the paper's \
+           node density ($(b,100), $(b,1k) or $(b,5k)). Overrides --nodes \
+           and --flows; composes with --scenario and --labels. An unknown \
+           preset lists the choices and exits 2.")
+
+let resolve_scale cmd name =
+  match Sim.Config.scale_of_name name with
+  | Some s -> s
+  | None ->
+      Printf.eprintf "%s: unknown scale %S\nscale presets: %s\n" cmd name
+        (String.concat ", " Sim.Config.scale_names);
+      exit 2
+
+let apply_scale cmd scale config =
+  match scale with
+  | None -> config
+  | Some name -> Sim.Config.apply_scale (resolve_scale cmd name) config
 
 let resolve_scenario cmd name =
   match Sim.Scenario.find name with
@@ -175,6 +219,7 @@ let config_term =
       & info [ "rate" ] ~doc:"Packets per second per flow.")
   and+ faults = faults_term
   and+ labels = labels_term
+  and+ channel = channel_term
   in
   Sim.Config.with_labels
     {
@@ -186,6 +231,7 @@ let config_term =
       seed;
       packet_rate;
       faults;
+      channel;
     }
     labels
 
@@ -276,10 +322,12 @@ let run_cmd =
            $(b,fuzz) but values above 1 change nothing here."
     and+ prof, prof_out = prof_term
     and+ scenario = scenario_term
+    and+ scale = scale_term
     in
     ignore (jobs : int);
     if prof then Obs.enable ();
     let config = { config with Sim.Config.protocol } in
+    let config = apply_scale "run" scale config in
     match Option.map (resolve_scenario "run") scenario with
     | Some sc when Sim.Scenario.is_adversarial sc ->
         (* replay the van Glabbeek attack for this protocol only: the
@@ -399,8 +447,10 @@ let campaign_cmd =
                first attempt). Also read from MANET_SABOTAGE.")
     and+ prof, prof_out = prof_term
     and+ scenario = scenario_term
+    and+ scale = scale_term
     in
     if prof then Obs.enable ();
+    let config = apply_scale "campaign" scale config in
     match Option.map (resolve_scenario "campaign") scenario with
     | Some sc when Sim.Scenario.is_adversarial sc ->
         (* adversarial campaign: replay the attack against every protocol
@@ -511,7 +561,9 @@ let check_cmd =
         value & opt float 1.0
         & info [ "interval" ] ~doc:"Seconds between invariant sweeps.")
     and+ scenario = scenario_term
+    and+ scale = scale_term
     in
+    let config = apply_scale "check" scale config in
     let config =
       match Option.map (workload_scenario "check") scenario with
       | Some sc -> Sim.Scenario.apply sc config
@@ -855,6 +907,12 @@ let labels_cmd =
   Cmd.v (Cmd.info "labels" ~doc) term
 
 let () =
+  (* A kilonode run schedules millions of short-lived closures whose
+     survivors churn the major heap: a roomier minor heap (16 MB) lets
+     most die young and a laxer space_overhead halves marking work.
+     Simulation results never depend on GC scheduling. *)
+  Gc.set
+    { (Gc.get ()) with Gc.minor_heap_size = 2048 * 1024; space_overhead = 200 };
   let doc =
     "Reproduction of 'Loop-Free Routing Using a Dense Label Set in Wireless \
      Networks' (ICDCS 2004)."

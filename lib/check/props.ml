@@ -753,6 +753,95 @@ let prop_wire_model =
     wire_law
 
 (* ------------------------------------------------------------------ *)
+(* Des.Heap: the scheduler's priority queue. Keys are timestamps and ties
+   the insertion sequence, so a drain must come out time-sorted with FIFO
+   order inside equal timestamps — anything else replays events out of
+   order. Keys are drawn from a small quarter-second pool so duplicated
+   timestamps are the norm, not the exception.
+
+   Mutation drill (re-run whenever the sift code changes; last run with
+   this PR): flip the tie comparison in Heap.add ([tie < Array.unsafe_get
+   ties parent] -> [tie >]) and run the heap cells; [heap-fifo-ties]
+   fails at seed 7 and shrinks in 7 steps to the two-push counterexample
+   keys=[0.00; 0.00]. Flipping the child pick in remove_min
+   ([ties r < ties l] -> [>]) is caught the same way, shrinking to
+   keys=[0.50; 0.50; 0.50; 0.00]. Restore and re-run green. *)
+
+let heap_keys_gen pool_max =
+  Gen.list_size (Gen.int_range 0 40)
+    (Gen.map (fun q -> 0.25 *. float_of_int q) (Gen.int_range 0 pool_max))
+
+let heap_print keys =
+  asprintf "keys=[%a]"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       (fun ppf k -> Format.fprintf ppf "%.2f" k))
+    keys
+
+(* drain through the allocation-free accessors, cross-checking them and
+   [peek]/[pop] against each other at every step *)
+let heap_drain_law keys =
+  let h = Des.Heap.create () in
+  List.iteri (fun i k -> Des.Heap.add h ~key:k ~tie:i i) keys;
+  if Des.Heap.size h <> List.length keys then
+    Error "size does not count the pushes"
+  else begin
+    let err = ref None in
+    let out = ref [] in
+    let step = ref 0 in
+    while !err = None && not (Des.Heap.is_empty h) do
+      let k = Des.Heap.min_key h and v = Des.Heap.min_value h in
+      (match Des.Heap.peek h with
+      | Some (pk, _, pv) when pk = k && pv = v -> ()
+      | Some _ -> err := Some "peek disagrees with min_key/min_value"
+      | None -> err := Some "peek empty on a non-empty heap");
+      if !err = None then begin
+        (* alternate removal paths: both must agree with the head *)
+        if !step land 1 = 0 then begin
+          let k', _, v' = Des.Heap.pop h in
+          if k' <> k || v' <> v then err := Some "pop disagrees with peek"
+        end
+        else Des.Heap.drop_min h;
+        out := (k, v) :: !out;
+        incr step
+      end
+    done;
+    match !err with
+    | Some e -> Error e
+    | None ->
+        (* !out is newest-first, so rev_map restores drain order *)
+        let drained_keys = List.rev_map fst !out in
+        if drained_keys <> List.sort Float.compare keys then
+          Error "drain is not the pushed timestamps in ascending order"
+        else Ok ()
+  end
+
+let prop_heap_drain =
+  Runner.cell ~name:"heap-drain-sorted" ~print:heap_print (heap_keys_gen 12)
+    heap_drain_law
+
+(* FIFO inside equal timestamps: the drain must equal a stable sort by
+   key alone, which keeps insertion order for duplicates *)
+let heap_fifo_law keys =
+  let h = Des.Heap.create () in
+  List.iteri (fun i k -> Des.Heap.add h ~key:k ~tie:i i) keys;
+  let expected =
+    List.stable_sort
+      (fun (a, _) (b, _) -> Float.compare a b)
+      (List.mapi (fun i k -> (k, i)) keys)
+  in
+  let drained =
+    List.map (fun (k, _, v) -> (k, v)) (Des.Heap.to_sorted_list h)
+  in
+  if drained <> expected then
+    Error "equal-timestamp pushes drained out of insertion order"
+  else Ok ()
+
+let prop_heap_fifo =
+  Runner.cell ~name:"heap-fifo-ties" ~print:heap_print (heap_keys_gen 3)
+    heap_fifo_law
+
+(* ------------------------------------------------------------------ *)
 (* Spatial grid vs naive channel scan: the grid's candidate set must be a
    superset of the exact in-range set, and a channel backed by it must be
    observationally identical to the full O(N) sweep — same deliveries,
@@ -763,18 +852,36 @@ type channel_case = {
   cnodes : int;
   cseed : int;
   cpause : float;
+  (* top leg speed: 0 freezes every node (no staleness slack to hide
+     behind), 50 doubles the usual pace (maximum slack) *)
+  cspeed : float;
+  (* skewed placement: even-numbered nodes start inside a corner patch,
+     loading a handful of grid cells while the rest stay sparse *)
+  cskew : bool;
   ctx : (int * int * int) list;  (** (src, quarter-second slot, duration idx) *)
 }
 
 let tx_durations = [| 0.002; 0.05; 0.3 |]
 
 let channel_gen =
-  Gen.bind (Gen.int_range 2 10) (fun cnodes ->
+  (* kilonode draws are rare but real: grid bookkeeping bugs that need
+     hundreds of occupied cells cannot hide behind ten-node worlds *)
+  Gen.bind
+    (Gen.frequency
+       [
+         (8, Gen.int_range 2 10);
+         (2, Gen.int_range 20 120);
+         (1, Gen.int_range 300 1000);
+       ])
+    (fun cnodes ->
       Gen.map2
-        (fun (cseed, cpause) ctx -> { cnodes; cseed; cpause; ctx })
+        (fun ((cseed, cpause), (cspeed, cskew)) ctx ->
+          { cnodes; cseed; cpause; cspeed; cskew; ctx })
         (Gen.pair
-           (Gen.no_shrink (Gen.int_range 0 1_000_000))
-           (Gen.elements [ 0.0; 1.0; 1000.0 ]))
+           (Gen.pair
+              (Gen.no_shrink (Gen.int_range 0 1_000_000))
+              (Gen.elements [ 0.0; 1.0; 1000.0 ]))
+           (Gen.pair (Gen.elements [ 0.0; 25.0; 50.0 ]) Gen.bool))
         (Gen.list_size (Gen.int_range 1 15)
            (Gen.triple
               (Gen.int_range 0 (cnodes - 1))
@@ -782,7 +889,8 @@ let channel_gen =
               (Gen.int_range 0 (Array.length tx_durations - 1)))))
 
 let channel_print c =
-  asprintf "nodes=%d seed=%d pause=%.0f tx=[%a]" c.cnodes c.cseed c.cpause
+  asprintf "nodes=%d seed=%d pause=%.0f speed=%.0f skew=%b tx=[%a]" c.cnodes
+    c.cseed c.cpause c.cspeed c.cskew
     (Format.pp_print_list
        ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
        (fun ppf (src, q, d) ->
@@ -792,15 +900,24 @@ let channel_print c =
     c.ctx
 
 let channel_grid_law c =
-  let terrain = Wireless.Terrain.make ~width:600.0 ~height:300.0 in
+  (* terrain grows with the population so kilonode draws keep a sparse,
+     many-cell grid instead of collapsing into the full-coverage branch *)
+  let width = if c.cnodes > 100 then 3600.0 else 600.0 in
+  let height = if c.cnodes > 100 then 1800.0 else 300.0 in
+  let terrain = Wireless.Terrain.make ~width ~height in
+  (* skewed placements start in a range-sized corner patch *)
+  let patch = Wireless.Terrain.make ~width:150.0 ~height:150.0 in
   let range = 150.0 and cs_range = 330.0 in
-  let max_speed = 25.0 in
+  let max_speed = c.cspeed in
   let rng = Des.Rng.create (Int64.of_int c.cseed) in
   let scripts =
     Array.init c.cnodes (fun i ->
-        Wireless.Waypoint.generate ~terrain
+        let home = if c.cskew && i land 1 = 0 then patch else terrain in
+        Wireless.Waypoint.generate ~terrain:home
           ~rng:(Des.Rng.split rng (Printf.sprintf "node%d" i))
-          ~pause:c.cpause ~speed_min:1.0 ~speed_max:max_speed ~duration:6.0)
+          ~pause:c.cpause
+          ~speed_min:(if max_speed > 0.0 then 1.0 else 0.0)
+          ~speed_max:max_speed ~duration:6.0)
   in
   let position i t = Wireless.Waypoint.position scripts.(i) t in
   let run grid =
@@ -893,6 +1010,8 @@ let all =
     prop_seen_cache;
     prop_pending;
     prop_wire_model;
+    prop_heap_drain;
+    prop_heap_fifo;
     prop_channel_grid;
   ]
   (* scenario workload models: mobility / traffic invariants *)

@@ -56,17 +56,22 @@ let pending t = t.live_events
 
 let executed t = t.executed
 
-(* Drop cancelled entries from the head; returns the next live entry. *)
+(* Drop cancelled entries from the head; true when a live head remains.
+   Reads the head in place (no tuple/option per peek) — together with
+   {!step} this keeps the dispatch loop allocation-free. *)
 let rec skip_dead t =
-  match Heap.peek t.queue with
-  | Some (_, _, event) when not event.live ->
-      ignore (Heap.pop t.queue);
-      skip_dead t
-  | other -> other
+  if Heap.is_empty t.queue then false
+  else if (Heap.min_value t.queue).live then true
+  else begin
+    Heap.drop_min t.queue;
+    skip_dead t
+  end
 
 (* Precondition: the head of the queue is live. *)
 let step t =
-  let time, _, event = Heap.pop t.queue in
+  let event = Heap.min_value t.queue in
+  let time = Heap.min_key t.queue in
+  Heap.drop_min t.queue;
   event.live <- false;
   t.live_events <- t.live_events - 1;
   t.clock <- time;
@@ -87,11 +92,10 @@ let run ?watchdog t ~until =
   (match watchdog with
   | None ->
       let rec loop () =
-        match skip_dead t with
-        | Some (time, _, _) when time <= until ->
-            step t;
-            loop ()
-        | Some _ | None -> ()
+        if skip_dead t && Heap.min_key t.queue <= until then begin
+          step t;
+          loop ()
+        end
       in
       loop ()
   | Some check ->
@@ -100,22 +104,19 @@ let run ?watchdog t ~until =
           check ();
           loop watchdog_stride
         end
-        else
-          match skip_dead t with
-          | Some (time, _, _) when time <= until ->
-              step t;
-              loop (budget - 1)
-          | Some _ | None -> ()
+        else if skip_dead t && Heap.min_key t.queue <= until then begin
+          step t;
+          loop (budget - 1)
+        end
       in
       loop watchdog_stride);
   if t.clock < until then t.clock <- until
 
 let run_all t =
   let rec loop () =
-    match skip_dead t with
-    | Some _ ->
-        step t;
-        loop ()
-    | None -> ()
+    if skip_dead t then begin
+      step t;
+      loop ()
+    end
   in
   loop ()

@@ -1,78 +1,146 @@
-type 'a entry = { key : float; tie : int; value : 'a }
+(* Parallel-array layout: a [{ key; tie; value }] entry array boxes every
+   float key (mixed records keep floats boxed) and costs an allocation per
+   push; splitting into a flat [float array] + [int array] + value array
+   keeps keys unboxed and makes [add]/[pop] allocation-free. The sifts
+   bubble a hole instead of swapping — one array write per level instead
+   of three, and at most two comparisons per level on the way down. *)
 
-type 'a t = { mutable data : 'a entry array; mutable size : int }
+type 'a t = {
+  mutable keys : float array;
+  mutable ties : int array;
+  mutable vals : 'a array;
+  mutable size : int;
+}
 
 let initial_capacity = 64
 
-let create () = { data = [||]; size = 0 }
+let create () = { keys = [||]; ties = [||]; vals = [||]; size = 0 }
 
 let size t = t.size
 
 let is_empty t = t.size = 0
 
-let lt a b = a.key < b.key || (a.key = b.key && a.tie < b.tie)
-
-let swap t i j =
-  let tmp = t.data.(i) in
-  t.data.(i) <- t.data.(j);
-  t.data.(j) <- tmp
-
-let rec sift_up t i =
-  if i > 0 then begin
-    let parent = (i - 1) / 2 in
-    if lt t.data.(i) t.data.(parent) then begin
-      swap t i parent;
-      sift_up t parent
-    end
-  end
-
-let rec sift_down t i =
-  let l = (2 * i) + 1 and r = (2 * i) + 2 in
-  let smallest = ref i in
-  if l < t.size && lt t.data.(l) t.data.(!smallest) then smallest := l;
-  if r < t.size && lt t.data.(r) t.data.(!smallest) then smallest := r;
-  if !smallest <> i then begin
-    swap t i !smallest;
-    sift_down t !smallest
-  end
+(* strict (key, tie) lexicographic order; ties are unique, so the order is
+   total and every heap arrangement drains in the same sequence *)
 
 let grow t =
-  let capacity = Array.length t.data in
+  let capacity = Array.length t.keys in
   if t.size >= capacity then begin
     let new_capacity = max initial_capacity (2 * capacity) in
-    (* the dummy cell is never read: size bounds all accesses *)
-    let dummy = t.data.(0) in
-    let data = Array.make new_capacity dummy in
-    Array.blit t.data 0 data 0 t.size;
-    t.data <- data
+    let keys = Array.make new_capacity 0.0 in
+    let ties = Array.make new_capacity 0 in
+    (* the dummy cells are never read: size bounds all accesses *)
+    let vals = Array.make new_capacity t.vals.(0) in
+    Array.blit t.keys 0 keys 0 t.size;
+    Array.blit t.ties 0 ties 0 t.size;
+    Array.blit t.vals 0 vals 0 t.size;
+    t.keys <- keys;
+    t.ties <- ties;
+    t.vals <- vals
   end
 
 let add t ~key ~tie value =
-  let entry = { key; tie; value } in
-  if Array.length t.data = 0 then t.data <- Array.make initial_capacity entry
+  if Array.length t.keys = 0 then begin
+    t.keys <- Array.make initial_capacity 0.0;
+    t.ties <- Array.make initial_capacity 0;
+    t.vals <- Array.make initial_capacity value
+  end
   else grow t;
-  t.data.(t.size) <- entry;
+  let keys = t.keys and ties = t.ties and vals = t.vals in
+  (* bubble the hole from the new leaf toward the root; every index is
+     bounded by the old size (checked against capacity above), so the
+     unchecked accesses cannot stray *)
+  let i = ref t.size in
   t.size <- t.size + 1;
-  sift_up t (t.size - 1)
+  let continue = ref true in
+  while !continue && !i > 0 do
+    let parent = (!i - 1) / 2 in
+    let pk = Array.unsafe_get keys parent in
+    if key < pk || (key = pk && tie < Array.unsafe_get ties parent) then begin
+      Array.unsafe_set keys !i pk;
+      Array.unsafe_set ties !i (Array.unsafe_get ties parent);
+      Array.unsafe_set vals !i (Array.unsafe_get vals parent);
+      i := parent
+    end
+    else continue := false
+  done;
+  Array.unsafe_set keys !i key;
+  Array.unsafe_set ties !i tie;
+  Array.unsafe_set vals !i value
+
+(* move the last element into the root hole and sift it down, promoting
+   the smaller child into the hole at each level *)
+let remove_min t =
+  let n = t.size - 1 in
+  t.size <- n;
+  if n > 0 then begin
+    let keys = t.keys and ties = t.ties and vals = t.vals in
+    (* every index below is < old size = n + 1 <= capacity *)
+    let key = Array.unsafe_get keys n
+    and tie = Array.unsafe_get ties n
+    and value = Array.unsafe_get vals n in
+    let i = ref 0 in
+    let continue = ref true in
+    while !continue do
+      let l = (2 * !i) + 1 in
+      if l >= n then continue := false
+      else begin
+        let r = l + 1 in
+        (* pick the smaller child: one comparison *)
+        let c =
+          if
+            r < n
+            && (Array.unsafe_get keys r < Array.unsafe_get keys l
+               || (Array.unsafe_get keys r = Array.unsafe_get keys l
+                  && Array.unsafe_get ties r < Array.unsafe_get ties l))
+          then r
+          else l
+        in
+        let ck = Array.unsafe_get keys c in
+        if ck < key || (ck = key && Array.unsafe_get ties c < tie) then begin
+          Array.unsafe_set keys !i ck;
+          Array.unsafe_set ties !i (Array.unsafe_get ties c);
+          Array.unsafe_set vals !i (Array.unsafe_get vals c);
+          i := c
+        end
+        else continue := false
+      end
+    done;
+    Array.unsafe_set keys !i key;
+    Array.unsafe_set ties !i tie;
+    Array.unsafe_set vals !i value
+  end
+
+let min_key t =
+  if t.size = 0 then invalid_arg "Heap.min_key: empty heap";
+  t.keys.(0)
+
+let min_value t =
+  if t.size = 0 then invalid_arg "Heap.min_value: empty heap";
+  t.vals.(0)
+
+let drop_min t =
+  if t.size = 0 then invalid_arg "Heap.drop_min: empty heap";
+  remove_min t
 
 let peek t =
-  if t.size = 0 then None
-  else
-    let e = t.data.(0) in
-    Some (e.key, e.tie, e.value)
+  if t.size = 0 then None else Some (t.keys.(0), t.ties.(0), t.vals.(0))
 
 let pop t =
   if t.size = 0 then invalid_arg "Heap.pop: empty heap";
-  let e = t.data.(0) in
-  t.size <- t.size - 1;
-  if t.size > 0 then begin
-    t.data.(0) <- t.data.(t.size);
-    sift_down t 0
-  end;
-  (e.key, e.tie, e.value)
+  let out = (t.keys.(0), t.ties.(0), t.vals.(0)) in
+  remove_min t;
+  out
 
 let to_sorted_list t =
-  let copy = { data = Array.copy t.data; size = t.size } in
+  let copy =
+    {
+      keys = Array.copy t.keys;
+      ties = Array.copy t.ties;
+      vals = Array.copy t.vals;
+      size = t.size;
+    }
+  in
   let rec drain acc =
     if is_empty copy then List.rev acc else drain (pop copy :: acc)
   in

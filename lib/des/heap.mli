@@ -14,12 +14,26 @@ val is_empty : 'a t -> bool
 
 val add : 'a t -> key:float -> tie:int -> 'a -> unit
 
-(** [peek t] is the minimum element, or [None] when empty. *)
+(** [peek t] is the minimum element, or [None] when empty. Allocates; the
+    scheduler's hot loop uses {!min_key}/{!min_value}/{!drop_min} instead. *)
 val peek : 'a t -> (float * int * 'a) option
 
 (** [pop t] removes and returns the minimum element.
     @raise Invalid_argument when empty. *)
 val pop : 'a t -> float * int * 'a
+
+(** [min_key t] is the minimum element's key without removing it.
+    @raise Invalid_argument when empty. *)
+val min_key : 'a t -> float
+
+(** [min_value t] is the minimum element's value without removing it.
+    @raise Invalid_argument when empty. *)
+val min_value : 'a t -> 'a
+
+(** [drop_min t] removes the minimum element without returning it — the
+    allocation-free companion to {!min_key}/{!min_value}.
+    @raise Invalid_argument when empty. *)
+val drop_min : 'a t -> unit
 
 (** [to_sorted_list t] drains a copy of the heap in ascending order (for
     tests; does not mutate [t]). *)

@@ -20,6 +20,16 @@ let protocol_of_name s =
 
 let fig7_protocols = [ Srp; Ldr; Aodv ]
 
+type channel = Grid | Naive
+
+let channel_name = function Grid -> "grid" | Naive -> "naive"
+
+let channel_of_name s =
+  match String.lowercase_ascii s with
+  | "grid" -> Some Grid
+  | "naive" -> Some Naive
+  | _ -> None
+
 type t = {
   protocol : protocol;
   nodes : int;
@@ -36,6 +46,7 @@ type t = {
   packet_size : int;
   seed : int;
   faults : Faults.Spec.t;
+  channel : channel;
   mobility : Wireless.Mobility.id;
   traffic : Traffic.Model.id;
   srp : Protocols.Srp.config;
@@ -62,6 +73,7 @@ let paper =
     packet_size = 512;
     seed = 1;
     faults = Faults.Spec.none;
+    channel = Grid;
     mobility = Wireless.Mobility.default;
     traffic = Traffic.Model.default;
     srp = Protocols.Srp.default_config;
@@ -83,6 +95,56 @@ let small =
   }
 
 let paper_pause_times = [ 0.0; 50.0; 100.0; 200.0; 300.0; 500.0; 700.0; 900.0 ]
+
+(* --scale presets: node count x terrain side x flow count, holding the
+   paper's node density (100 nodes on 2200 m x 600 m = one node per
+   13,200 m^2) and this reproduction's offered load (12 flows per 100
+   nodes, the calibrated near-saturation regime) constant. Terrains above
+   the paper's are square: at city scale the 2200x600 corridor shape stops
+   mattering and a square keeps the hop diameter growing as sqrt(n). *)
+type scale = {
+  scale_name : string;
+  scale_nodes : int;
+  scale_terrain : Wireless.Terrain.t;
+  scale_flows : int;
+}
+
+let scales =
+  [
+    {
+      scale_name = "100";
+      scale_nodes = 100;
+      scale_terrain = Wireless.Terrain.paper;
+      scale_flows = 12;
+    };
+    {
+      scale_name = "1k";
+      scale_nodes = 1000;
+      (* sqrt(1000 * 13,200) = 3633 m *)
+      scale_terrain = Wireless.Terrain.make ~width:3633.0 ~height:3633.0;
+      scale_flows = 120;
+    };
+    {
+      scale_name = "5k";
+      scale_nodes = 5000;
+      (* sqrt(5000 * 13,200) = 8124 m *)
+      scale_terrain = Wireless.Terrain.make ~width:8124.0 ~height:8124.0;
+      scale_flows = 600;
+    };
+  ]
+
+let scale_names = List.map (fun s -> s.scale_name) scales
+
+let scale_of_name name =
+  List.find_opt (fun s -> s.scale_name = name) scales
+
+let apply_scale s t =
+  {
+    t with
+    nodes = s.scale_nodes;
+    terrain = s.scale_terrain;
+    flows = s.scale_flows;
+  }
 
 let to_json (t : t) =
   let module J = Trace.Json in
@@ -110,6 +172,8 @@ let to_json (t : t) =
     @ (if t.srp.Protocols.Srp.labels = Slr.Label_set.default then []
        else
          [ ("labels", J.String (Slr.Label_set.name t.srp.Protocols.Srp.labels)) ])
+    @ (if t.channel = Grid then []
+       else [ ("channel", J.String (channel_name t.channel)) ])
     @ (if t.mobility = Wireless.Mobility.default then []
        else [ ("mobility", J.String (Wireless.Mobility.name t.mobility)) ])
     @
@@ -128,6 +192,8 @@ let with_pause t pause = { t with pause }
 let with_seed t seed = { t with seed }
 
 let with_faults t faults = { t with faults }
+
+let with_channel t channel = { t with channel }
 
 let with_mobility t mobility = { t with mobility }
 

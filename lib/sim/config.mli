@@ -14,6 +14,18 @@ val protocol_of_name : string -> protocol option
 (** Protocols that expose a sequence number (Fig. 7). *)
 val fig7_protocols : protocol list
 
+(** Neighbour-sweep implementation the channel uses. {!Grid} (the default
+    in every preset) is the spatial-hash path; {!Naive} is the O(n²) full
+    scan retained as the property-tested oracle ([--channel naive]). The
+    two are observationally identical — same deliveries, same collisions,
+    same engine order — enforced by the [channel-grid-equiv] property. *)
+type channel = Grid | Naive
+
+val channel_name : channel -> string
+
+(** Inverse of {!channel_name}, case-insensitive. *)
+val channel_of_name : string -> channel option
+
 type t = {
   protocol : protocol;
   nodes : int;
@@ -33,6 +45,9 @@ type t = {
       (** fault-injection schedule; {!Faults.Spec.none} (the default in every
           preset) bypasses the whole subsystem so clean runs are bitwise
           identical to pre-fault builds *)
+  channel : channel;
+      (** neighbour-sweep path; {!Grid} in every preset, {!Naive} is the
+          escape hatch back to the oracle full scan *)
   mobility : Wireless.Mobility.id;
       (** mobility-model instance; the default ({!Wireless.Mobility.default},
           random waypoint) reproduces the historical runner byte-for-byte *)
@@ -64,10 +79,36 @@ val small : t
 (** The paper's eight pause times (0 = constant mobility, 900 = static). *)
 val paper_pause_times : float list
 
+(** A [--scale] preset: node count, terrain and flow count at constant
+    node density (one node per 13,200 m², the paper's) and constant
+    offered load per node (12 flows per 100 nodes, this reproduction's
+    calibrated near-saturation regime). *)
+type scale = {
+  scale_name : string;
+  scale_nodes : int;
+  scale_terrain : Wireless.Terrain.t;
+  scale_flows : int;
+}
+
+(** Registered presets, in size order: ["100"] (the paper's world),
+    ["1k"] and ["5k"] (city-scale square terrains). *)
+val scales : scale list
+
+(** Preset names, in registry order (for usage listings). *)
+val scale_names : string list
+
+val scale_of_name : string -> scale option
+
+(** Overlay a scale preset onto a configuration: sets nodes, terrain and
+    flows; everything else (duration, seeds, protocol tuning, scenario
+    models) is left alone. The ["100"] preset reproduces
+    {!reproduction}'s world exactly. *)
+val apply_scale : scale -> t -> t
+
 (** Scalar scenario parameters as a flat JSON object (protocol tuning
     records are omitted; [faults] reduces to whether a plan is present;
-    ["labels"], ["mobility"] and ["traffic"] members name the respective
-    pluggable instances and are emitted only when not the default, so
+    ["labels"], ["channel"], ["mobility"] and ["traffic"] members name the
+    respective pluggable instances and are emitted only when not the default, so
     default-configuration exports stay byte-identical across releases).
     Embedded in every [--json] export so a result file is self-describing. *)
 val to_json : t -> Trace.Json.t
@@ -86,6 +127,8 @@ val with_pause : t -> float -> t
 val with_seed : t -> int -> t
 
 val with_faults : t -> Faults.Spec.t -> t
+
+val with_channel : t -> channel -> t
 
 val with_mobility : t -> Wireless.Mobility.id -> t
 

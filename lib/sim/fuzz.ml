@@ -45,6 +45,31 @@ let to_config c =
     }
     c.labels
 
+(* kilonode world at the paper's density (one node per 13,200 m^2, the
+   same constant the --scale presets hold): a long thin strip at 1000
+   nodes would be 30 km of corridor, so scale a square instead. The
+   horizon is cut to a couple of simulated seconds to keep one case
+   around a second of wall clock. *)
+let to_config_kilo c =
+  let side = sqrt (13_200.0 *. float_of_int c.nodes) in
+  Config.with_labels
+    {
+      Config.small with
+      protocol = c.protocol;
+      nodes = c.nodes;
+      terrain = Wireless.Terrain.make ~width:side ~height:side;
+      duration = c.duration;
+      traffic_start = 1.0;
+      flows = c.flows;
+      flow_mean_duration = c.duration;
+      pause = c.pause;
+      seed = c.sim_seed;
+      faults = c.faults;
+      mobility = c.mobility;
+      traffic = c.traffic;
+    }
+    c.labels
+
 (* mobility/traffic are pinned values, not generators: applied by a
    draw-free map so the default catalogue's case streams are unchanged *)
 let case_gen ?(labels = Gen.pure Slr.Label_set.default)
@@ -73,6 +98,32 @@ let case_gen ?(labels = Gen.pure Slr.Label_set.default)
                    (Gen.map float_of_int (Gen.int_range 0 5))
                    (Gen.no_shrink (Gen.int_range 0 1_000_000))))))
 
+(* scale-smoke generator paired with {!to_config_kilo}: ~1k nodes on a
+   2-3 s horizon. Shrinking still walks nodes toward the low end, which
+   keeps counterexamples as small as this world allows. *)
+let kilo_case_gen ~protocol ~faults () =
+  Gen.bind protocol (fun protocol ->
+      Gen.bind faults (fun faults ->
+          Gen.map2
+            (fun (nodes, flows) (duration, pause, sim_seed) ->
+              {
+                protocol;
+                nodes;
+                duration;
+                flows;
+                pause;
+                sim_seed;
+                faults;
+                labels = Slr.Label_set.default;
+                mobility = Wireless.Mobility.default;
+                traffic = Traffic.Model.default;
+              })
+            (Gen.pair (Gen.int_range 900 1100) (Gen.int_range 2 4))
+            (Gen.triple
+               (Gen.map float_of_int (Gen.int_range 2 3))
+               (Gen.map float_of_int (Gen.int_range 0 2))
+               (Gen.no_shrink (Gen.int_range 0 1_000_000)))))
+
 let pp_case ppf c =
   Format.fprintf ppf
     "%s nodes=%d duration=%.0fs flows=%d pause=%.0fs seed=%d faults=[%a]"
@@ -96,7 +147,7 @@ let print_case = asprintf "%a" pp_case
 
 exception Model_violation of string
 
-let sim_model_law c =
+let sim_model_law_in to_config c =
   let config = to_config c in
   let nodes = config.Config.nodes in
   let model = Slr_model.create ~nodes in
@@ -127,6 +178,8 @@ let sim_model_law c =
     ignore (Slr_model.observations model);
     Ok ()
   with Model_violation m -> Error m
+
+let sim_model_law = sim_model_law_in to_config
 
 let prop_sim_model_with ?(name = "srp-sim-model") ?mobility ?traffic labels =
   Runner_c.cell ~cost:10 ~name ~print:print_case
@@ -176,7 +229,7 @@ type ledger = {
       (** first terminal event naming a never-originated packet *)
 }
 
-let conservation_law c =
+let conservation_law_in to_config c =
   let l =
     {
       originate_events = 0;
@@ -261,6 +314,8 @@ let conservation_law c =
              dropped_only)
       else Ok ()
 
+let conservation_law = conservation_law_in to_config
+
 let prop_conservation_with ?(name = "metrics-conservation") ?mobility ?traffic
     labels =
   Runner_c.cell ~cost:10 ~name ~print:print_case
@@ -277,6 +332,30 @@ let prop_conservation_with ?(name = "metrics-conservation") ?mobility ?traffic
 
 let prop_conservation =
   prop_conservation_with (Gen.pure Slr.Label_set.default)
+
+(* ------------------------------------------------------------------ *)
+(* Scale smoke: the same two oracles on a reduced-horizon kilonode
+   world. The laws are node-count agnostic, so the only new thing under
+   test is the machinery the kilonode path leans on — the grid channel
+   at density, the flattened event loop, heap behaviour at deep queues.
+   Cost 100 keeps these to a case or two per catalogue run: one case is
+   ~1 s of wall clock, three orders of magnitude above a small-world
+   case. *)
+
+let kilo_faults =
+  Gen.frequency [ (2, Gen.pure Faults.Spec.none); (1, Topo.fault_spec ()) ]
+
+let prop_sim_model_1k =
+  Runner_c.cell ~cost:100 ~name:"srp-sim-model-1k" ~print:print_case
+    (kilo_case_gen ~protocol:(Gen.pure Config.Srp) ~faults:kilo_faults ())
+    (sim_model_law_in to_config_kilo)
+
+let prop_conservation_1k =
+  Runner_c.cell ~cost:100 ~name:"metrics-conservation-1k" ~print:print_case
+    (kilo_case_gen
+       ~protocol:(Gen.elements Config.all_protocols)
+       ~faults:kilo_faults ())
+    (conservation_law_in to_config_kilo)
 
 (* ------------------------------------------------------------------ *)
 (* Checkpoint–resume equivalence: journal a small campaign, truncate the
@@ -352,7 +431,13 @@ let prop_resume_equiv =
   prop_resume_equiv_with (Gen.pure Slr.Label_set.default)
 
 let props =
-  [ prop_sim_model; prop_conservation; prop_resume_equiv ]
+  [
+    prop_sim_model;
+    prop_conservation;
+    prop_resume_equiv;
+    prop_sim_model_1k;
+    prop_conservation_1k;
+  ]
   @ List.map prop_sim_model_for
       (List.filter
          (fun id -> id <> Slr.Label_set.default)

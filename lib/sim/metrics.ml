@@ -74,15 +74,32 @@ type result = {
 let finalize ?(labels = Slr.Label_set.default) (t : t) ~control_tx ~data_tx
     ~drop_queue_full ~drop_retry ~mac_drops ~collisions ~nodes ~gauges
     ~fault_events ~fault_frames_blocked ~engine_events =
-  let seqnos =
-    List.map (fun g -> g.Protocols.Routing_intf.own_seqno) gauges
-  in
+  (* one pass over the gauges with mutable accumulators instead of one
+     functional fold per member; every accumulation is integral, so the
+     results are bit-identical to the old per-member folds *)
+  let gauge_count = ref 0 in
+  let seqno_sum = ref 0 in
+  let max_seqno = ref 0 in
+  let seqno_resets = ref 0 in
+  let max_denominator = ref 0 in
+  let label_width_bits = ref 0 in
+  let label_resets = ref 0 in
+  List.iter
+    (fun g ->
+      incr gauge_count;
+      seqno_sum := !seqno_sum + g.Protocols.Routing_intf.own_seqno;
+      if g.Protocols.Routing_intf.own_seqno > !max_seqno then
+        max_seqno := g.Protocols.Routing_intf.own_seqno;
+      seqno_resets := !seqno_resets + g.Protocols.Routing_intf.seqno_resets;
+      if g.Protocols.Routing_intf.max_denominator > !max_denominator then
+        max_denominator := g.Protocols.Routing_intf.max_denominator;
+      if g.Protocols.Routing_intf.label_width_bits > !label_width_bits then
+        label_width_bits := g.Protocols.Routing_intf.label_width_bits;
+      label_resets := !label_resets + g.Protocols.Routing_intf.label_resets)
+    gauges;
   let avg_seqno =
-    match seqnos with
-    | [] -> 0.0
-    | _ ->
-        float_of_int (List.fold_left ( + ) 0 seqnos)
-        /. float_of_int (List.length seqnos)
+    if !gauge_count = 0 then 0.0
+    else float_of_int !seqno_sum /. float_of_int !gauge_count
   in
   {
     sent = t.sent;
@@ -101,24 +118,12 @@ let finalize ?(labels = Slr.Label_set.default) (t : t) ~control_tx ~data_tx
     drop_queue_full;
     drop_retry;
     avg_seqno;
-    max_seqno = List.fold_left Stdlib.max 0 seqnos;
-    seqno_resets =
-      List.fold_left
-        (fun acc g -> acc + g.Protocols.Routing_intf.seqno_resets)
-        0 gauges;
-    max_denominator =
-      List.fold_left
-        (fun acc g -> Stdlib.max acc g.Protocols.Routing_intf.max_denominator)
-        0 gauges;
+    max_seqno = !max_seqno;
+    seqno_resets = !seqno_resets;
+    max_denominator = !max_denominator;
     labels;
-    label_width_bits =
-      List.fold_left
-        (fun acc g -> Stdlib.max acc g.Protocols.Routing_intf.label_width_bits)
-        0 gauges;
-    label_resets =
-      List.fold_left
-        (fun acc g -> acc + g.Protocols.Routing_intf.label_resets)
-        0 gauges;
+    label_width_bits = !label_width_bits;
+    label_resets = !label_resets;
     drop_reasons =
       List.sort
         (fun (_, a) (_, b) -> compare b a)

@@ -25,17 +25,23 @@ type 'a t = {
   tx_until : float array;
   (* in-progress receptions per node, pruned lazily *)
   rx_active : reception list array;
-  (* all in-progress transmissions, for carrier sense; pruned lazily *)
-  mutable air : (int * float) list;
+  (* all in-progress transmissions, for carrier sense, as parallel arrays
+     compacted in place: [busy_until] runs on every MAC backoff expiry, so
+     rebuilding a (src, until) list there dominated kilonode allocation *)
+  mutable air_src : int array;
+  mutable air_until : float array;
+  mutable air_len : int;
   mutable collision_count : int;
   collision_at : int array;
   (* spatial index pruning the per-frame neighbour scan; None = full scan *)
   grid : Grid.t option;
   (* per-(node, time) position memo: one frame event looks the same nodes
      up at the same instant many times, and Waypoint.position is a binary
-     search per call *)
+     search per call. Flat x/y arrays keep the floats unboxed and the
+     memo stores free of write barriers. *)
   pos_at : float array;
-  pos_v : Vec2.t array;
+  pos_x : float array;
+  pos_y : float array;
   (* --prof span for the synchronous transmit sweep, named for the
      neighbour-scan strategy so profiles separate grid from naive *)
   span_transmit : Obs.span;
@@ -66,12 +72,15 @@ let create ?(trace = Trace.null) ?grid engine ~nodes ~position ~range ~cs_range 
     filter = None;
     tx_until = Array.make nodes neg_infinity;
     rx_active = Array.make nodes [];
-    air = [];
+    air_src = Array.make 16 0;
+    air_until = Array.make 16 neg_infinity;
+    air_len = 0;
     collision_count = 0;
     collision_at = Array.make nodes 0;
     grid;
     pos_at = Array.make (Stdlib.max nodes 1) nan;
-    pos_v = Array.make (Stdlib.max nodes 1) Vec2.zero;
+    pos_x = Array.make (Stdlib.max nodes 1) 0.0;
+    pos_y = Array.make (Stdlib.max nodes 1) 0.0;
     span_transmit =
       Obs.span
         (if Option.is_some grid then "channel.transmit.grid"
@@ -88,25 +97,60 @@ let deliverable t ~src ~dst =
 let now t = Des.Engine.now t.engine
 
 (* nan stamps never compare equal, so the first lookup always misses *)
-let pos t i time =
-  if t.pos_at.(i) = time then t.pos_v.(i)
-  else begin
+let refresh_pos t i time =
+  if t.pos_at.(i) <> time then begin
     let p = t.position i time in
     t.pos_at.(i) <- time;
-    t.pos_v.(i) <- p;
-    p
+    t.pos_x.(i) <- p.Vec2.x;
+    t.pos_y.(i) <- p.Vec2.y
   end
 
+(* allocates a fresh pair; hot paths read pos_x/pos_y directly instead *)
+let pos t i time =
+  refresh_pos t i time;
+  Vec2.make ~x:t.pos_x.(i) ~y:t.pos_y.(i)
+
+(* compact the air arrays in place, keeping entries through the guard
+   window (busy needs them); entry order never affects results — corrupt
+   is idempotent per frame, busy_until takes a max, busy an exists *)
 let prune t =
   let time = now t in
-  (* keep entries through the guard window: busy needs them *)
-  t.air <- List.filter (fun (_, until) -> until +. t.idle_guard > time) t.air
+  let src = t.air_src and until = t.air_until in
+  let k = ref 0 in
+  for i = 0 to t.air_len - 1 do
+    if until.(i) +. t.idle_guard > time then begin
+      if !k <> i then begin
+        src.(!k) <- src.(i);
+        until.(!k) <- until.(i)
+      end;
+      incr k
+    end
+  done;
+  t.air_len <- !k
+
+let air_add t s tx_end =
+  let capacity = Array.length t.air_src in
+  if t.air_len = capacity then begin
+    let src = Array.make (2 * capacity) 0 in
+    let until = Array.make (2 * capacity) neg_infinity in
+    Array.blit t.air_src 0 src 0 t.air_len;
+    Array.blit t.air_until 0 until 0 t.air_len;
+    t.air_src <- src;
+    t.air_until <- until
+  end;
+  t.air_src.(t.air_len) <- s;
+  t.air_until.(t.air_len) <- tx_end;
+  t.air_len <- t.air_len + 1
 
 let transmitting t i = t.tx_until.(i) > now t
 
+(* same float expression as Vec2.dist_sq, evaluated on the flat memo *)
 let within t a b ~radius =
   let time = now t in
-  Vec2.dist_sq (pos t a time) (pos t b time) <= radius *. radius
+  refresh_pos t a time;
+  refresh_pos t b time;
+  let dx = t.pos_x.(a) -. t.pos_x.(b) and dy = t.pos_y.(a) -. t.pos_y.(b) in
+  (dx *. dx) +. (dy *. dy) <= radius *. radius
 
 let in_range t a b = within t a b ~radius:t.range
 
@@ -115,12 +159,18 @@ let busy t i =
   else begin
     prune t;
     let time = now t in
-    List.exists
-      (fun (src, until) ->
+    let found = ref false in
+    let k = ref 0 in
+    while (not !found) && !k < t.air_len do
+      let src = t.air_src.(!k) in
+      if
         src <> i
-        && until +. t.idle_guard > time
-        && within t i src ~radius:t.cs_range)
-      t.air
+        && t.air_until.(!k) +. t.idle_guard > time
+        && within t i src ~radius:t.cs_range
+      then found := true
+      else incr k
+    done;
+    !found
   end
 
 let busy_until t i =
@@ -128,25 +178,26 @@ let busy_until t i =
   let time = now t in
   let horizon = ref time in
   if t.tx_until.(i) > !horizon then horizon := t.tx_until.(i);
-  List.iter
-    (fun (src, until) ->
-      let guarded = until +. t.idle_guard in
-      if
-        src <> i && guarded > !horizon
-        && within t i src ~radius:t.cs_range
-      then horizon := guarded)
-    t.air;
+  for k = 0 to t.air_len - 1 do
+    let src = t.air_src.(k) in
+    let guarded = t.air_until.(k) +. t.idle_guard in
+    if src <> i && guarded > !horizon && within t i src ~radius:t.cs_range
+    then horizon := guarded
+  done;
   !horizon
 
 let neighbors t i =
   let time = now t in
   let pos_i = pos t i time in
+  let xi = pos_i.Vec2.x and yi = pos_i.Vec2.y in
   let result = ref [] in
   let consider j =
-    if
-      j <> i
-      && Vec2.dist_sq pos_i (pos t j time) <= t.range *. t.range
-    then result := j :: !result
+    if j <> i then begin
+      refresh_pos t j time;
+      let dx = xi -. t.pos_x.(j) and dy = yi -. t.pos_y.(j) in
+      if (dx *. dx) +. (dy *. dy) <= t.range *. t.range then
+        result := j :: !result
+    end
   in
   match t.grid with
   | None ->
@@ -183,40 +234,53 @@ let clash t j ~rx_a ~rx_b =
 let interfere t j rx ~interferer_dist =
   if rx.dist *. t.capture_ratio > interferer_dist then corrupt t j rx
 
+(* [List.filter] allocates a fresh list even when nothing is removed;
+   most sweeps find no expired reception, so test before rebuilding *)
+let prune_rx t j time =
+  let l = t.rx_active.(j) in
+  if List.exists (fun r -> r.rx_end <= time) l then
+    t.rx_active.(j) <- List.filter (fun r -> r.rx_end > time) l
+
 let transmit_body t ~src ~duration pdu =
   let time = now t in
   let tx_end = time +. duration in
   prune t;
-  t.air <- (src, tx_end) :: t.air;
-  t.tx_until.(src) <- Stdlib.max t.tx_until.(src) tx_end;
+  air_add t src tx_end;
+  if tx_end > t.tx_until.(src) then t.tx_until.(src) <- tx_end;
   (* half duplex: starting a transmission ruins any reception in progress *)
-  t.rx_active.(src) <-
-    List.filter (fun rx -> rx.rx_end > time) t.rx_active.(src);
+  prune_rx t src time;
   List.iter (corrupt t src) t.rx_active.(src);
   let pos_src = pos t src time in
+  let sx = pos_src.Vec2.x and sy = pos_src.Vec2.y in
   let touch j =
     if j <> src then begin
-      let pos_j = pos t j time in
-      let d = Vec2.dist pos_src pos_j in
+      refresh_pos t j time;
+      let jx = t.pos_x.(j) and jy = t.pos_y.(j) in
+      (* sqrt of Vec2.dist_sq's expression == Vec2.dist, bit for bit *)
+      let dxj = sx -. jx and dyj = sy -. jy in
+      let d = sqrt ((dxj *. dxj) +. (dyj *. dyj)) in
       if d <= t.range then begin
         if transmitting t j then ()
           (* a transmitting node hears nothing; the frame is simply lost *)
         else begin
           let rx = { corrupted = false; rx_end = tx_end; dist = d } in
-          t.rx_active.(j) <-
-            List.filter (fun r -> r.rx_end > time) t.rx_active.(j);
+          prune_rx t j time;
           (* overlap with receptions already in progress: capture decides *)
           List.iter (fun other -> clash t j ~rx_a:rx ~rx_b:other)
             t.rx_active.(j);
           (* interferers already in the air but too far to decode *)
-          List.iter
-            (fun (other_src, until) ->
-              if other_src <> src && other_src <> j && until > time then begin
-                let di = Vec2.dist (pos t other_src time) pos_j in
-                if di > t.range && di <= t.cs_range then
-                  interfere t j rx ~interferer_dist:di
-              end)
-            t.air;
+          for k = 0 to t.air_len - 1 do
+            let other_src = t.air_src.(k) in
+            if other_src <> src && other_src <> j && t.air_until.(k) > time
+            then begin
+              refresh_pos t other_src time;
+              let dxo = t.pos_x.(other_src) -. jx
+              and dyo = t.pos_y.(other_src) -. jy in
+              let di = sqrt ((dxo *. dxo) +. (dyo *. dyo)) in
+              if di > t.range && di <= t.cs_range then
+                interfere t j rx ~interferer_dist:di
+            end
+          done;
           t.rx_active.(j) <- rx :: t.rx_active.(j);
           ignore
             (Des.Engine.schedule ~span:span_rx t.engine ~delay:duration
@@ -236,8 +300,7 @@ let transmit_body t ~src ~duration pdu =
       end
       else if d <= t.cs_range then begin
         (* interference zone: undecodable, but can stomp receptions *)
-        t.rx_active.(j) <-
-          List.filter (fun r -> r.rx_end > time) t.rx_active.(j);
+        prune_rx t j time;
         List.iter (fun rx -> interfere t j rx ~interferer_dist:d)
           t.rx_active.(j)
       end

@@ -171,4 +171,25 @@ let iter t ~now ~center ~radius f =
     end
   end
 
+(* candidate sweep without the ascending-order guarantee: carrier-sense
+   queries fold the candidates commutatively, so the sort (and the gather
+   pass feeding it) is pure overhead there *)
+let iter_unordered t ~now ~center ~radius f =
+  if t.nodes > 0 then begin
+    ensure t ~now;
+    let r = radius +. (t.max_speed *. (now -. t.built_at)) in
+    let bx0 = clampi (int_of_float ((center.Vec2.x -. r -. t.ox) /. t.cell)) 0 (t.cols - 1) in
+    let bx1 = clampi (int_of_float ((center.Vec2.x +. r -. t.ox) /. t.cell)) 0 (t.cols - 1) in
+    let by0 = clampi (int_of_float ((center.Vec2.y -. r -. t.oy) /. t.cell)) 0 (t.rows - 1) in
+    let by1 = clampi (int_of_float ((center.Vec2.y +. r -. t.oy) /. t.cell)) 0 (t.rows - 1) in
+    for by = by0 to by1 do
+      for bx = bx0 to bx1 do
+        let b = (by * t.cols) + bx in
+        for k = t.off.(b) to t.off.(b + 1) - 1 do
+          f t.ids.(k)
+        done
+      done
+    done
+  end
+
 let rebuilds t = t.rebuild_count

@@ -41,5 +41,11 @@ val rebuild : t -> now:float -> unit
     included when it falls in range; callers skip it. *)
 val iter : t -> now:float -> center:Vec2.t -> radius:float -> (int -> unit) -> unit
 
+(** Like {!iter} but with no ordering guarantee (bucket order, duplicates
+    impossible): skips the gather-and-sort pass, for commutative folds
+    such as carrier-sense queries. *)
+val iter_unordered :
+  t -> now:float -> center:Vec2.t -> radius:float -> (int -> unit) -> unit
+
 (** Number of rebuilds performed so far (lazy and forced). *)
 val rebuilds : t -> int

@@ -50,6 +50,9 @@ type t = {
   mutable next_seq : int;
   (* virtual carrier sense from overheard RTS/CTS *)
   mutable nav_until : float;
+  (* the backoff-expiry action never changes, so one closure serves every
+     (re)arm — backoff events dominate a congested run's schedule rate *)
+  mutable backoff_fire : unit -> unit;
   (* last delivered MAC seq per sender, for duplicate suppression *)
   last_seen : (int, int) Hashtbl.t;
   mutable tx_data : int;
@@ -139,9 +142,7 @@ and arm_contention t =
   Trace.mac_backoff t.trace ~node:t.id ~cw:t.cw;
   let handle =
     Des.Engine.schedule ~span:span_backoff t.engine ~delay:(backoff_delay t)
-      (fun () ->
-        t.state <- Idle;
-        attempt t)
+      t.backoff_fire
   in
   t.state <- Contending handle
 
@@ -149,17 +150,16 @@ and attempt t =
   match t.current with
   | None -> start_contention t
   | Some entry ->
+      let channel_idle_at = Channel.busy_until t.channel t.id in
       let idle_at =
-        Stdlib.max (Channel.busy_until t.channel t.id) t.nav_until
+        if t.nav_until > channel_idle_at then t.nav_until else channel_idle_at
       in
       if idle_at > now t then begin
         (* medium busy (physically or by NAV): re-contend anchored at the
            idle boundary, like DCF's frozen backoff counters *)
         let delay = idle_at -. now t +. backoff_delay t in
         let handle =
-          Des.Engine.schedule ~span:span_backoff t.engine ~delay (fun () ->
-              t.state <- Idle;
-              attempt t)
+          Des.Engine.schedule ~span:span_backoff t.engine ~delay t.backoff_fire
         in
         t.state <- Contending handle
       end
@@ -332,6 +332,7 @@ let create ?(trace = Trace.null) engine radio channel ~id ~rng callbacks =
       cw = radio.Radio.cw_min;
       next_seq = 0;
       nav_until = 0.0;
+      backoff_fire = ignore;
       last_seen = Hashtbl.create 16;
       tx_data = 0;
       tx_control = 0;
@@ -342,6 +343,10 @@ let create ?(trace = Trace.null) engine radio channel ~id ~rng callbacks =
       drop_duplicate = 0;
     }
   in
+  t.backoff_fire <-
+    (fun () ->
+      t.state <- Idle;
+      attempt t);
   Channel.set_receiver channel id (fun ~src pdu -> handle_pdu t ~src pdu);
   t
 

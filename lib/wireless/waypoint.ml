@@ -1,13 +1,18 @@
 type leg = { depart : float; arrive : float; from_p : Vec2.t; to_p : Vec2.t }
 
-type t = { initial : Vec2.t; legs : leg array }
+(* [cursor] memoises the leg found by the last {!position} query. The
+   simulator queries at non-decreasing times, so the next query almost
+   always lands on the same leg or the one after — O(1) instead of a
+   binary search per call. Queries that jump backwards fall back to the
+   search; the answer never depends on the cursor. *)
+type t = { initial : Vec2.t; legs : leg array; mutable cursor : int }
 
 let generate ~terrain ~rng ~pause ~speed_min ~speed_max ~duration =
   if speed_min < 0.0 || speed_max < speed_min then
     invalid_arg "Waypoint.generate: need 0 <= speed_min <= speed_max";
   if pause < 0.0 then invalid_arg "Waypoint.generate: negative pause";
   let initial = Terrain.random_point terrain rng in
-  if speed_max <= 0.0 then { initial; legs = [||] }
+  if speed_max <= 0.0 then { initial; legs = [||]; cursor = 0 }
   else
     let rec build time pos acc =
       if time >= duration then List.rev acc
@@ -27,9 +32,9 @@ let generate ~terrain ~rng ~pause ~speed_min ~speed_max ~duration =
         build leg.arrive dest (leg :: acc)
       end
     in
-    { initial; legs = Array.of_list (build 0.0 initial []) }
+    { initial; legs = Array.of_list (build 0.0 initial []); cursor = 0 }
 
-let stationary p = { initial = p; legs = [||] }
+let stationary p = { initial = p; legs = [||]; cursor = 0 }
 
 let of_legs ~initial legs =
   let rec check prev_arrive prev_to = function
@@ -44,19 +49,33 @@ let of_legs ~initial legs =
         check leg.arrive leg.to_p rest
   in
   check 0.0 initial legs;
-  { initial; legs = Array.of_list legs }
+  { initial; legs = Array.of_list legs; cursor = 0 }
 
 let position t time =
   let n = Array.length t.legs in
   if n = 0 || time <= t.legs.(0).depart then t.initial
   else begin
-    (* binary search for the last leg with depart <= time *)
-    let lo = ref 0 and hi = ref (n - 1) in
-    while !lo < !hi do
-      let mid = (!lo + !hi + 1) / 2 in
-      if t.legs.(mid).depart <= time then lo := mid else hi := mid - 1
-    done;
-    let leg = t.legs.(!lo) in
+    (* find the last leg with depart <= time: resume from the cursor for
+       the common monotone query, binary-search on a backwards jump *)
+    let i =
+      if t.legs.(t.cursor).depart <= time then begin
+        let i = ref t.cursor in
+        while !i + 1 < n && t.legs.(!i + 1).depart <= time do
+          incr i
+        done;
+        !i
+      end
+      else begin
+        let lo = ref 0 and hi = ref (n - 1) in
+        while !lo < !hi do
+          let mid = (!lo + !hi + 1) / 2 in
+          if t.legs.(mid).depart <= time then lo := mid else hi := mid - 1
+        done;
+        !lo
+      end
+    in
+    t.cursor <- i;
+    let leg = t.legs.(i) in
     if time >= leg.arrive then leg.to_p
     else
       let frac = (time -. leg.depart) /. (leg.arrive -. leg.depart) in

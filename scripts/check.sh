@@ -181,4 +181,22 @@ dune exec bench/main.exe -- campaign --trials 1 --duration 10 --flows 3 \
 grep -q '"workers"' "$tmp/bench_prof.json"
 grep -q '"gc"' "$tmp/bench_prof.json"
 
+# scale smoke: a kilonode world on a tiny horizon must complete under the
+# default grid channel, and an unknown preset must exit 2 listing the
+# registered choices
+"$SIM" run --scale 1k --duration 17 > /dev/null 2> /dev/null
+if "$SIM" run --scale 10k > /dev/null 2> "$tmp/scale_err.txt"; then
+  echo "check.sh: unknown --scale did not fail" >&2
+  exit 1
+fi
+grep -q "scale presets:" "$tmp/scale_err.txt"
+
+# events/s regression gate: rerun the committed BENCH_scale.json sweep
+# (100/1k/5k presets, reduced horizons) and fail when any preset's
+# events_per_sec drops below 75% of its committed number
+dune exec bench/main.exe -- scale --quiet --out "$tmp/bench_scale_campaign.json" \
+  --scale-out "$tmp/bench_scale.json" \
+  --check-scale-regression BENCH_scale.json > "$tmp/scale_out.txt" 2> /dev/null
+grep "scale regression gate" "$tmp/scale_out.txt"
+
 echo "check.sh: all green"

@@ -102,6 +102,59 @@ let test_scenario_flag () =
   Alcotest.(check bool) "adversarial entry rejected" true
     (String.length adversarial > 0)
 
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec scan i = i + nl <= hl && (String.sub hay i nl = needle || scan (i + 1)) in
+  scan 0
+
+let test_scale_flag () =
+  Alcotest.(check bool) "no scale overlay by default" true
+    ((ok []).Bench_cli.scale = None);
+  Alcotest.(check string) "grid is the default channel" "grid"
+    (Sim.Config.channel_name (ok []).Bench_cli.channel);
+  Alcotest.(check string) "default scale-out" "BENCH_scale.json"
+    (ok []).Bench_cli.scale_out;
+  List.iter
+    (fun (preset, nodes) ->
+      match (ok [ "--scale"; preset ]).Bench_cli.scale with
+      | Some s ->
+          Alcotest.(check string) "preset name" preset s.Sim.Config.scale_name;
+          Alcotest.(check int) "preset nodes" nodes s.Sim.Config.scale_nodes
+      | None -> Alcotest.failf "--scale %s parsed to no overlay" preset)
+    [ ("100", 100); ("1k", 1000); ("5k", 5000) ];
+  (* unknown preset: the driver exits 2 with the registered choices *)
+  let unknown = err [ "--scale"; "10k" ] in
+  Alcotest.(check bool) "names the bad preset" true (contains unknown "10k");
+  List.iter
+    (fun n ->
+      Alcotest.(check bool) ("lists choice " ^ n) true (contains unknown n))
+    Sim.Config.scale_names;
+  ignore (err [ "--scale" ]);
+  (* composes with the other campaign axes *)
+  let opts =
+    ok
+      [ "campaign"; "--scale"; "1k"; "--scenario"; "downtown"; "--labels";
+        "farey"; "--channel"; "naive"; "--scale-out"; "fresh_scale.json";
+        "--check-scale-regression"; "BENCH_scale.json" ]
+  in
+  Alcotest.(check bool) "scale survives composition" true
+    (match opts.Bench_cli.scale with
+    | Some s -> s.Sim.Config.scale_nodes = 1000
+    | None -> false);
+  Alcotest.(check string) "scenario survives composition" "downtown"
+    opts.Bench_cli.scenario.Sim.Scenario.name;
+  Alcotest.(check string) "labels survive composition" "farey"
+    (Slr.Label_set.name opts.Bench_cli.labels);
+  Alcotest.(check string) "naive oracle selectable" "naive"
+    (Sim.Config.channel_name opts.Bench_cli.channel);
+  Alcotest.(check string) "scale-out" "fresh_scale.json"
+    opts.Bench_cli.scale_out;
+  Alcotest.(check bool) "scale baseline" true
+    (opts.Bench_cli.scale_baseline = Some "BENCH_scale.json");
+  let bad_channel = err [ "--channel"; "octree" ] in
+  Alcotest.(check bool) "channel error lists both" true
+    (contains bad_channel "grid" && contains bad_channel "naive")
+
 let test_unknown_inputs () =
   let m = err [ "--frobnicate" ] in
   Alcotest.(check bool) "names the flag" true
@@ -121,5 +174,6 @@ let () =
           Alcotest.test_case "missing argument" `Quick test_missing_argument;
           Alcotest.test_case "unknown flag/section" `Quick test_unknown_inputs;
           Alcotest.test_case "scenario flag" `Quick test_scenario_flag;
+          Alcotest.test_case "scale and channel flags" `Quick test_scale_flag;
         ] );
     ]

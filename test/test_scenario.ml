@@ -116,31 +116,36 @@ let read_golden name =
   | Some path -> In_channel.with_open_bin path In_channel.input_all
   | None -> Alcotest.failf "golden %s not found" name
 
-let golden_campaign ~jobs =
+let golden_base () =
   (* mirrors `manet_sim campaign --scenario default --nodes 20 --duration 10
      --trials 1 --flows 3 --quiet`, the invocation that minted the goldens *)
-  let base =
-    Sim.Config.with_labels
-      {
-        C.reproduction with
-        C.nodes = 20;
-        flows = 3;
-        pause = 0.0;
-        duration = 10.0;
-        seed = 1;
-        packet_rate = 4.0;
-        faults = Faults.Spec.none;
-      }
-      Slr.Label_set.default
-  in
+  Sim.Config.with_labels
+    {
+      C.reproduction with
+      C.nodes = 20;
+      flows = 3;
+      pause = 0.0;
+      duration = 10.0;
+      seed = 1;
+      packet_rate = 4.0;
+      faults = Faults.Spec.none;
+    }
+    Slr.Label_set.default
+
+let golden_campaign ~jobs =
   Sim.Experiment.run ~jobs
     ~pause_scale:(Stdlib.min 1.0 (10.0 /. 900.0))
-    ~base:(Sc.apply Sc.default base) ~protocols:C.all_protocols
+    ~base:(Sc.apply Sc.default (golden_base ())) ~protocols:C.all_protocols
     ~pauses:C.paper_pause_times ~trials:1
     ~progress:(fun _ -> ())
     ()
 
 let test_default_matches_golden ~jobs () =
+  (* the goldens were minted before the grid became the default channel;
+     matching them from an untouched config proves the promotion changed
+     no observable byte *)
+  Alcotest.(check string) "campaign runs on the default grid channel" "grid"
+    (C.channel_name (Sc.apply Sc.default (golden_base ())).C.channel);
   let campaign = golden_campaign ~jobs in
   Alcotest.(check string) "report matches committed golden"
     (read_golden "campaign_default.txt")
